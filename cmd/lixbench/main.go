@@ -1,0 +1,60 @@
+// Command lixbench runs the lix experiment suite (E4–E19 from DESIGN.md)
+// and prints the result tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	lixbench -e E4            # one experiment at default scale
+//	lixbench -e all -n 100000 # whole suite at a custom dataset size
+//	lixbench -list            # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/lix-go/lix/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("e", "all", "experiment ID (E4..E19) or 'all'")
+		n     = flag.Int("n", 0, "dataset size (0 = default)")
+		q     = flag.Int("q", 0, "queries per measurement (0 = default)")
+		seed  = flag.Int64("seed", 7, "generator seed")
+		quick = flag.Bool("quick", false, "small quick-check scale")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(bench.IDs(), " "))
+		return
+	}
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *q > 0 {
+		cfg.Q = *q
+	}
+	cfg.Seed = *seed
+
+	ids := bench.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		tables, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lixbench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+	}
+}

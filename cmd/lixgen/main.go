@@ -1,0 +1,144 @@
+// Command lixgen generates and inspects the synthetic benchmark datasets
+// (the SOSD-style substitutes described in DESIGN.md).
+//
+// Usage:
+//
+//	lixgen -kind lognormal -n 1000000 -out keys.bin   # write binary keys
+//	lixgen -kind lognormal -n 100000 -stats           # print distribution stats
+//	lixgen -spatial s-osm -n 100000 -dim 2 -stats     # spatial dataset stats
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "", "1-D distribution: uniform|normal|lognormal|clustered|sequential|adversarial")
+		spatial = flag.String("spatial", "", "spatial distribution: s-uniform|s-osm|s-skewed|s-diagonal")
+		n       = flag.Int("n", 1000000, "number of keys/points")
+		dim     = flag.Int("dim", 2, "spatial dimensionality")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output file (little-endian binary); empty = no file")
+		stats   = flag.Bool("stats", false, "print distribution statistics")
+	)
+	flag.Parse()
+
+	switch {
+	case *kind != "":
+		keys, err := dataset.Keys(dataset.Kind(*kind), *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			printKeyStats(keys)
+		}
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			w := bufio.NewWriter(f)
+			for _, k := range keys {
+				if err := binary.Write(w, binary.LittleEndian, uint64(k)); err != nil {
+					fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %d keys to %s\n", len(keys), *out)
+		}
+	case *spatial != "":
+		pts, err := dataset.Points(dataset.SpatialKind(*spatial), *n, *dim, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			printPointStats(pts)
+		}
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			w := bufio.NewWriter(f)
+			for _, p := range pts {
+				for _, c := range p {
+					if err := binary.Write(w, binary.LittleEndian, c); err != nil {
+						fatal(err)
+					}
+				}
+			}
+			if err := w.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %d points to %s\n", len(pts), *out)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "lixgen: pass -kind or -spatial; see -h")
+		os.Exit(2)
+	}
+}
+
+func printKeyStats(keys []core.Key) {
+	if len(keys) == 0 {
+		fmt.Println("empty dataset")
+		return
+	}
+	var minGap, maxGap uint64 = math.MaxUint64, 0
+	var sumGap float64
+	for i := 1; i < len(keys); i++ {
+		g := keys[i] - keys[i-1]
+		if g < minGap {
+			minGap = g
+		}
+		if g > maxGap {
+			maxGap = g
+		}
+		sumGap += float64(g)
+	}
+	fmt.Printf("n=%d min=%d max=%d\n", len(keys), keys[0], keys[len(keys)-1])
+	fmt.Printf("gaps: min=%d max=%d mean=%.1f (max/mean=%.1fx)\n",
+		minGap, maxGap, sumGap/float64(len(keys)-1), float64(maxGap)/(sumGap/float64(len(keys)-1)))
+}
+
+func printPointStats(pts []core.Point) {
+	if len(pts) == 0 {
+		fmt.Println("empty dataset")
+		return
+	}
+	dim := len(pts[0])
+	for d := 0; d < dim; d++ {
+		lo, hi, sum := math.Inf(1), math.Inf(-1), 0.0
+		for _, p := range pts {
+			if p[d] < lo {
+				lo = p[d]
+			}
+			if p[d] > hi {
+				hi = p[d]
+			}
+			sum += p[d]
+		}
+		fmt.Printf("dim %d: min=%.1f max=%.1f mean=%.1f\n", d, lo, hi, sum/float64(len(pts)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lixgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Command lixtaxonomy regenerates the paper's three figures from the
+// machine-readable catalog (experiments E1–E3 in DESIGN.md): the spectrum
+// of learned indexes, the taxonomy tree, and the evolution timeline.
+//
+// Usage:
+//
+//	lixtaxonomy -fig 1|2|3    # one figure
+//	lixtaxonomy               # all three
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lix-go/lix/internal/taxonomy"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to print (1, 2, or 3; 0 = all)")
+	flag.Parse()
+	switch *fig {
+	case 0:
+		fmt.Println(taxonomy.Spectrum())
+		fmt.Println(taxonomy.Tree())
+		fmt.Println(taxonomy.Timeline())
+	case 1:
+		fmt.Println(taxonomy.Spectrum())
+	case 2:
+		fmt.Println(taxonomy.Tree())
+	case 3:
+		fmt.Println(taxonomy.Timeline())
+	default:
+		fmt.Fprintln(os.Stderr, "lixtaxonomy: figure must be 1, 2, or 3")
+		os.Exit(1)
+	}
+}

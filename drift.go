@@ -1,0 +1,25 @@
+package lix
+
+import "github.com/lix-go/lix/internal/drift"
+
+// Drift detection (paper §6.3): watch a learned index's per-operation
+// correction cost and decide when to retrain.
+type (
+	// DriftEWMA flags drift when the smoothed cost exceeds a ratio of the
+	// post-training baseline.
+	DriftEWMA = drift.EWMA
+	// DriftPageHinkley is the Page–Hinkley sequential change detector:
+	// robust to isolated spikes, reacts to sustained shifts.
+	DriftPageHinkley = drift.PageHinkley
+)
+
+// NewDriftEWMA returns an EWMA drift detector; see drift.NewEWMA.
+func NewDriftEWMA(baseline, threshold, alpha float64) (*DriftEWMA, error) {
+	return drift.NewEWMA(baseline, threshold, alpha)
+}
+
+// NewDriftPageHinkley returns a Page–Hinkley drift detector; see
+// drift.NewPageHinkley.
+func NewDriftPageHinkley(delta, lambda float64) (*DriftPageHinkley, error) {
+	return drift.NewPageHinkley(delta, lambda)
+}

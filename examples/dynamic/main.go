@@ -1,0 +1,74 @@
+// Dynamic: compare the two insert strategies of updatable learned indexes
+// — in-place (ALEX, LIPP) vs delta-buffer (dynamic PGM, FITing-tree) —
+// under insert-only, read-mostly and write-heavy workloads, against a
+// B+-tree baseline.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	lix "github.com/lix-go/lix"
+)
+
+const n = 500000
+
+func main() {
+	r := rand.New(rand.NewSource(2))
+	keys := make([]lix.Key, n)
+	cur := lix.Key(0)
+	for i := range keys {
+		cur += lix.Key(r.Intn(1000) + 1)
+		keys[i] = cur
+	}
+	perm := r.Perm(n)
+
+	fmt.Printf("%-12s  %12s  %14s  %14s\n", "index", "insert Mops", "95/5 mix Mops", "50/50 mix Mops")
+	for _, kind := range lix.Mutable1DKinds() {
+		insert := measure(func(ix lix.MutableIndex) {
+			for _, i := range perm {
+				ix.Insert(keys[i], lix.Value(i))
+			}
+		}, kind, n)
+
+		mix := func(readFrac float64) float64 {
+			ix, err := lix.BuildMutable1D(kind)
+			if err != nil {
+				panic(err)
+			}
+			for _, i := range perm[:n/2] {
+				ix.Insert(keys[i], lix.Value(i))
+			}
+			rr := rand.New(rand.NewSource(3))
+			next := n / 2
+			const ops = 200000
+			start := time.Now()
+			for o := 0; o < ops; o++ {
+				if rr.Float64() < readFrac {
+					ix.Get(keys[rr.Intn(n)])
+				} else {
+					i := perm[next%n]
+					next++
+					ix.Insert(keys[i], lix.Value(i))
+				}
+			}
+			return float64(ops) / float64(time.Since(start).Nanoseconds()) * 1000
+		}
+
+		fmt.Printf("%-12s  %12.2f  %14.2f  %14.2f\n", kind, insert, mix(0.95), mix(0.50))
+	}
+}
+
+// measure returns Mops/s for fn over n operations on a fresh index.
+func measure(fn func(lix.MutableIndex), kind string, ops int) float64 {
+	ix, err := lix.BuildMutable1D(kind)
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	fn(ix)
+	return float64(ops) / float64(time.Since(start).Nanoseconds()) * 1000
+}

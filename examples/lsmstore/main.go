@@ -1,0 +1,57 @@
+// LSM store: the BOURBON-style learned LSM-tree as a small key-value
+// store — writes through a memtable, flushes into learned-indexed runs,
+// leveled compaction, range scans over the merged view, and the model
+// footprint that replaces block indexes.
+//
+//	go run ./examples/lsmstore
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	lix "github.com/lix-go/lix"
+)
+
+func main() {
+	db := lix.NewLearnedLSM(lix.LSMConfig{MemtableCap: 8192})
+
+	// Write a timestamp-like workload: mostly increasing keys with updates.
+	const n = 300000
+	r := rand.New(rand.NewSource(1))
+	start := time.Now()
+	cur := lix.Key(1 << 30)
+	keys := make([]lix.Key, 0, n)
+	for i := 0; i < n; i++ {
+		cur += lix.Key(r.Intn(1000) + 1)
+		keys = append(keys, cur)
+		db.Insert(cur, lix.Value(i))
+		if i%10 == 3 { // occasional update of a recent key
+			db.Insert(keys[r.Intn(len(keys))], lix.Value(i))
+		}
+	}
+	fmt.Printf("loaded %d records in %v (%d live)\n", n, time.Since(start).Round(time.Millisecond), db.Len())
+
+	// Point reads.
+	start = time.Now()
+	hits := 0
+	for i := 0; i < 100000; i++ {
+		if _, ok := db.Get(keys[r.Intn(len(keys))]); ok {
+			hits++
+		}
+	}
+	fmt.Printf("100k random gets: %v (%d hits)\n", time.Since(start).Round(time.Millisecond), hits)
+
+	// Deletes and a range scan over the merged view.
+	for i := 0; i < 1000; i++ {
+		db.Delete(keys[i])
+	}
+	count := db.Range(keys[0], keys[5000], func(k lix.Key, v lix.Value) bool { return true })
+	fmt.Printf("range over first 5k keys after 1k deletes: %d live records\n", count)
+
+	st := db.Stats()
+	fmt.Printf("\nstructure: %d levels, %d learned segments, %.1f KiB of models for %.1f MiB of data\n",
+		st.Height, st.Models, float64(st.IndexBytes)/1024, float64(st.DataBytes)/(1<<20))
+	fmt.Println("(the models replace the block indexes a traditional LSM keeps per run)")
+}

@@ -1,0 +1,122 @@
+package lix_test
+
+import (
+	"sort"
+	"testing"
+
+	lix "github.com/lix-go/lix"
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/segment"
+)
+
+// FuzzLearnedLowerBound feeds arbitrary byte strings decoded as key sets
+// and probes into the learned 1-D indexes and cross-checks LowerBound-
+// dependent behavior (Get and Range) against the sorted-array reference.
+//
+// Run with: go test -fuzz=FuzzLearnedLowerBound -fuzztime=30s .
+func FuzzLearnedLowerBound(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint64(5))
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 0}, uint64(1)<<63)
+	f.Add([]byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, raw []byte, probe uint64) {
+		// Decode raw into a key set (8 bytes per key, little-endian-ish).
+		var keys []lix.Key
+		for i := 0; i+8 <= len(raw) && len(keys) < 512; i += 8 {
+			var k uint64
+			for j := 0; j < 8; j++ {
+				k = k<<8 | uint64(raw[i+j])
+			}
+			keys = append(keys, lix.Key(k))
+		}
+		if len(keys) == 0 {
+			return
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		// Dedup (map semantics).
+		recs := make([]lix.KV, 0, len(keys))
+		for i, k := range keys {
+			if i > 0 && keys[i-1] == k {
+				continue
+			}
+			recs = append(recs, lix.KV{Key: k, Value: lix.Value(i)})
+		}
+		ref := lix.NewSortedArray(recs)
+		for _, kind := range []string{"rmi", "pgm", "radixspline", "histtree"} {
+			ix, err := lix.Build1D(kind, recs)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			v1, ok1 := ix.Get(lix.Key(probe))
+			v2, ok2 := ref.Get(lix.Key(probe))
+			if ok1 != ok2 || (ok1 && v1 != v2) {
+				t.Fatalf("%s: Get(%d) = %d,%v, ref %d,%v", kind, probe, v1, ok1, v2, ok2)
+			}
+			// Range around the probe.
+			lo, hi := lix.Key(probe), lix.Key(probe)+1024
+			if hi < lo {
+				hi = ^lix.Key(0)
+			}
+			n1 := ix.Range(lo, hi, func(lix.Key, lix.Value) bool { return true })
+			n2 := ref.Range(lo, hi, func(lix.Key, lix.Value) bool { return true })
+			if n1 != n2 {
+				t.Fatalf("%s: Range(%d,%d) = %d, ref %d", kind, lo, hi, n1, n2)
+			}
+		}
+	})
+}
+
+// FuzzPLAErrorBound checks the ε guarantee of both PLA builders on
+// arbitrary monotone inputs.
+//
+// Run with: go test -fuzz=FuzzPLAErrorBound -fuzztime=30s .
+func FuzzPLAErrorBound(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 201, 202}, uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, epsRaw uint8) {
+		if len(raw) == 0 {
+			return
+		}
+		eps := float64(epsRaw%64) + 1
+		// Build a monotone key sequence from cumulative byte gaps.
+		xs := make([]float64, 0, len(raw))
+		cur := 0.0
+		for _, b := range raw {
+			cur += float64(b)
+			xs = append(xs, cur)
+		}
+		distinct, firstPos := segment.Dedup(xs)
+		for name, build := range map[string]func([]float64, []float64, float64) []segment.Segment{
+			"anchored": segment.BuildAnchored,
+			"optimal":  segment.BuildOptimal,
+		} {
+			segs := build(distinct, firstPos, eps)
+			if len(segs) == 0 {
+				t.Fatalf("%s: no segments", name)
+			}
+			if segs[0].StartIdx != 0 || segs[len(segs)-1].EndIdx != len(distinct) {
+				t.Fatalf("%s: does not tile input", name)
+			}
+			if e := segment.MaxError(distinct, firstPos, segs); e > eps+1e-6 {
+				t.Fatalf("%s: error %g > eps %g", name, e, eps)
+			}
+		}
+	})
+}
+
+// FuzzExponentialSearch cross-checks ExponentialSearch against LowerBound
+// from arbitrary start positions.
+func FuzzExponentialSearch(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint64(2), 1)
+	f.Fuzz(func(t *testing.T, raw []byte, probe uint64, start int) {
+		keys := make([]core.Key, 0, len(raw))
+		cur := core.Key(0)
+		for _, b := range raw {
+			cur += core.Key(b)
+			keys = append(keys, cur)
+		}
+		want := core.LowerBound(keys, core.Key(probe))
+		got := core.ExponentialSearch(keys, core.Key(probe), start)
+		if got != want {
+			t.Fatalf("ExponentialSearch(%d, start=%d) = %d, want %d", probe, start, got, want)
+		}
+	})
+}

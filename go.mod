@@ -1,0 +1,3 @@
+module github.com/lix-go/lix
+
+go 1.22

@@ -1,0 +1,828 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	lix "github.com/lix-go/lix"
+	"github.com/lix-go/lix/internal/btree"
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+	"github.com/lix-go/lix/internal/flood"
+	"github.com/lix-go/lix/internal/lsm"
+	"github.com/lix-go/lix/internal/pgm"
+	"github.com/lix-go/lix/internal/qdtree"
+	"github.com/lix-go/lix/internal/rmi"
+	"github.com/lix-go/lix/internal/zm"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// N is the dataset size (records or points).
+	N int
+	// Q is the number of queries per measurement.
+	Q int
+	// Seed drives all generators.
+	Seed int64
+}
+
+// DefaultConfig is the scale used for EXPERIMENTS.md.
+func DefaultConfig() Config { return Config{N: 400000, Q: 50000, Seed: 7} }
+
+// QuickConfig is a small scale for tests.
+func QuickConfig() Config { return Config{N: 20000, Q: 4000, Seed: 7} }
+
+// IDs lists the runnable experiments.
+func IDs() []string {
+	return []string{"E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) ([]*Table, error) {
+	switch id {
+	case "E4":
+		return E4Lookup1D(cfg), nil
+	case "E5":
+		return E5Build1D(cfg), nil
+	case "E6":
+		return E6Insert1D(cfg), nil
+	case "E7":
+		return E7Range1D(cfg), nil
+	case "E8":
+		return E8ModelChoice(cfg), nil
+	case "E9":
+		return E9LearnedBloom(cfg), nil
+	case "E10":
+		return E10PointMD(cfg), nil
+	case "E11":
+		return E11RangeMD(cfg), nil
+	case "E12":
+		return E12KNN(cfg), nil
+	case "E13":
+		return E13InsertMD(cfg), nil
+	case "E14":
+		return E14Concurrent(cfg), nil
+	case "E15":
+		return E15Adversarial(cfg), nil
+	case "E16":
+		return E16Layout(cfg), nil
+	case "E17":
+		return E17SFC(cfg), nil
+	case "E18":
+		return E18LearnedLSM(cfg), nil
+	case "E19":
+		return E19DimSweep(cfg), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q", id)
+	}
+}
+
+// randSrc aliases the generator type used across experiments.
+type randSrc = rand.Rand
+
+// newRand returns a deterministic generator.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// nsPerOp times fn over n operations.
+func nsPerOp(n int, fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+func mustKeys(kind dataset.Kind, n int, seed int64) []core.Key {
+	keys, err := dataset.Keys(kind, n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return keys
+}
+
+func mustPoints(kind dataset.SpatialKind, n, dim int, seed int64) []core.Point {
+	pts, err := dataset.Points(kind, n, dim, seed)
+	if err != nil {
+		panic(err)
+	}
+	return pts
+}
+
+var bench1DKinds = []dataset.Kind{dataset.Uniform, dataset.Lognormal, dataset.Clustered}
+
+// E4Lookup1D — learned vs traditional 1-D lookup latency and index size.
+func E4Lookup1D(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "1-D point lookup: latency and index size (learned vs traditional)",
+		Columns: []string{"dataset", "index", "ns/lookup", "index_KiB", "data_KiB", "models", "height"},
+	}
+	for _, kind := range bench1DKinds {
+		keys := mustKeys(kind, cfg.N, cfg.Seed)
+		recs := dataset.KV(keys)
+		probes := dataset.LookupMix(keys, cfg.Q, 0.9, cfg.Seed+1)
+		for _, name := range lix.Static1DKinds() {
+			ix, err := lix.Build1D(name, recs)
+			if err != nil {
+				panic(err)
+			}
+			var sink core.Value
+			ns := nsPerOp(len(probes), func() {
+				for _, p := range probes {
+					v, _ := ix.Get(p)
+					sink += v
+				}
+			})
+			_ = sink
+			st := ix.Stats()
+			t.AddRow(string(kind), name, ns, st.IndexBytes/1024, st.DataBytes/1024, st.Models, st.Height)
+		}
+	}
+	return []*Table{t}
+}
+
+// E5Build1D — construction time.
+func E5Build1D(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "1-D index construction time",
+		Columns: []string{"dataset", "index", "build_ms", "MiB"},
+	}
+	for _, kind := range bench1DKinds {
+		keys := mustKeys(kind, cfg.N, cfg.Seed)
+		recs := dataset.KV(keys)
+		for _, name := range lix.Static1DKinds() {
+			start := time.Now()
+			ix, err := lix.Build1D(name, recs)
+			if err != nil {
+				panic(err)
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			st := ix.Stats()
+			t.AddRow(string(kind), name, ms, float64(st.IndexBytes+st.DataBytes)/(1<<20))
+		}
+	}
+	return []*Table{t}
+}
+
+// E6Insert1D — in-place vs delta-buffer updatable indexes.
+func E6Insert1D(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E6",
+		Title:   "1-D updatable indexes: insert-only and mixed workloads (Mops/s)",
+		Columns: []string{"index", "insert_only", "read95_write5", "read50_write50"},
+	}
+	keys := mustKeys(dataset.Lognormal, cfg.N, cfg.Seed)
+	r := newRand(cfg.Seed + 2)
+	perm := r.Perm(len(keys))
+	for _, name := range lix.Mutable1DKinds() {
+		// Insert-only, random order.
+		ix, err := lix.BuildMutable1D(name)
+		if err != nil {
+			panic(err)
+		}
+		insNs := nsPerOp(len(perm), func() {
+			for _, i := range perm {
+				ix.Insert(keys[i], core.Value(i))
+			}
+		})
+		mixed := func(readFrac float64) float64 {
+			ix2, _ := lix.BuildMutable1D(name)
+			// Preload half.
+			for _, i := range perm[:len(perm)/2] {
+				ix2.Insert(keys[i], core.Value(i))
+			}
+			rr := newRand(cfg.Seed + 3)
+			next := len(perm) / 2
+			ops := cfg.Q
+			return nsPerOp(ops, func() {
+				for o := 0; o < ops; o++ {
+					if rr.Float64() < readFrac {
+						ix2.Get(keys[rr.Intn(len(keys))])
+					} else {
+						i := perm[next%len(perm)]
+						next++
+						ix2.Insert(keys[i], core.Value(i))
+					}
+				}
+			})
+		}
+		r95 := mixed(0.95)
+		r50 := mixed(0.50)
+		t.AddRow(name, 1000/insNs, 1000/r95, 1000/r50)
+	}
+	return []*Table{t}
+}
+
+// E7Range1D — range scans across selectivities.
+func E7Range1D(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "1-D range queries: microseconds per query by selectivity",
+		Columns: []string{"index", "sel=1e-5", "sel=1e-4", "sel=1e-3", "sel=1e-2"},
+	}
+	keys := mustKeys(dataset.Clustered, cfg.N, cfg.Seed)
+	recs := dataset.KV(keys)
+	sels := []float64{1e-5, 1e-4, 1e-3, 1e-2}
+	for _, name := range lix.Static1DKinds() {
+		ix, err := lix.Build1D(name, recs)
+		if err != nil {
+			panic(err)
+		}
+		row := []interface{}{name}
+		for _, sel := range sels {
+			qs := dataset.Ranges(keys, 200, sel, cfg.Seed+4)
+			var sink int
+			ns := nsPerOp(len(qs), func() {
+				for _, q := range qs {
+					sink += ix.Range(q.Lo, q.Hi, func(core.Key, core.Value) bool { return true })
+				}
+			})
+			_ = sink
+			row = append(row, ns/1000)
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// E8ModelChoice — PGM ε sweep and RMI fanout sweep (§6.2: choice of model).
+func E8ModelChoice(cfg Config) []*Table {
+	keys := mustKeys(dataset.Lognormal, cfg.N, cfg.Seed)
+	recs := dataset.KV(keys)
+	probes := dataset.LookupMix(keys, cfg.Q, 1.0, cfg.Seed+5)
+
+	pgmT := &Table{
+		ID:      "E8a",
+		Title:   "PGM ε sweep: model size vs lookup latency",
+		Columns: []string{"epsilon", "segments", "levels", "model_KiB", "ns/lookup"},
+	}
+	for _, eps := range []int{8, 16, 32, 64, 128, 256, 512} {
+		ix, err := pgm.Build(recs, eps)
+		if err != nil {
+			panic(err)
+		}
+		var sink core.Value
+		ns := nsPerOp(len(probes), func() {
+			for _, p := range probes {
+				v, _ := ix.Get(p)
+				sink += v
+			}
+		})
+		_ = sink
+		pgmT.AddRow(eps, ix.SegmentCount(), ix.Levels(), ix.ModelBytes()/1024, ns)
+	}
+
+	rmiT := &Table{
+		ID:      "E8b",
+		Title:   "RMI stage-2 fanout sweep: window vs latency",
+		Columns: []string{"stage2", "avg_window", "max_err", "index_KiB", "ns/lookup"},
+	}
+	for _, fanout := range []int{64, 256, 1024, 4096, 16384} {
+		ix, err := rmi.Build(recs, rmi.Config{Stage2: fanout})
+		if err != nil {
+			panic(err)
+		}
+		var sink core.Value
+		ns := nsPerOp(len(probes), func() {
+			for _, p := range probes {
+				v, _ := ix.Get(p)
+				sink += v
+			}
+		})
+		_ = sink
+		rmiT.AddRow(fanout, ix.AvgWindow(), ix.MaxAbsError(), ix.Stats().IndexBytes/1024, ns)
+	}
+	return []*Table{pgmT, rmiT}
+}
+
+// E9LearnedBloom — learned Bloom filter FPR vs space (§6.6).
+func E9LearnedBloom(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Membership filters: observed FPR by bits/key (learnable key set)",
+		Columns: []string{"filter", "6 bits/key", "8 bits/key", "10 bits/key", "14 bits/key"},
+	}
+	n := cfg.N / 4
+	keys, trainNegs, testNegs := learnableFilterSet(n, cfg.Seed)
+	build := map[string]func(bits uint64) lix.MembershipFilter{
+		"bloom": func(bits uint64) lix.MembershipFilter {
+			f := lix.NewBloomFilterBits(bits, len(keys))
+			for _, k := range keys {
+				f.Add(k)
+			}
+			return f
+		},
+		"learned": func(bits uint64) lix.MembershipFilter {
+			f, err := lix.TrainLearnedBF(keys, trainNegs, bits)
+			if err != nil {
+				panic(err)
+			}
+			return f
+		},
+		"sandwiched": func(bits uint64) lix.MembershipFilter {
+			f, err := lix.TrainSandwichedBF(keys, trainNegs, bits)
+			if err != nil {
+				panic(err)
+			}
+			return f
+		},
+		"partitioned": func(bits uint64) lix.MembershipFilter {
+			f, err := lix.TrainPartitionedBF(keys, trainNegs, bits, 0)
+			if err != nil {
+				panic(err)
+			}
+			return f
+		},
+	}
+	for _, name := range []string{"bloom", "learned", "sandwiched", "partitioned"} {
+		row := []interface{}{name}
+		for _, bpk := range []int{6, 8, 10, 14} {
+			f := build[name](uint64(bpk * len(keys)))
+			row = append(row, lix.MeasureFPR(f, testNegs))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// learnableFilterSet mirrors the structured key sets used in the learned
+// Bloom filter papers: keys live in a dense band, negatives outside it.
+func learnableFilterSet(n int, seed int64) (keys, trainNeg, testNeg []core.Key) {
+	r := newRand(seed)
+	seen := map[core.Key]bool{}
+	for len(keys) < n {
+		k := core.Key(1<<40 + r.Int63n(1<<30))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	gen := func(m int, rr *randSrc) []core.Key {
+		var out []core.Key
+		for len(out) < m {
+			var k core.Key
+			if rr.Intn(2) == 0 {
+				k = core.Key(rr.Int63n(1 << 40))
+			} else {
+				k = core.Key(1<<41 + rr.Int63n(1<<45))
+			}
+			if !seen[k] {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	return keys, gen(n, newRand(seed+1)), gen(n, newRand(seed+2))
+}
+
+var benchSpatialKinds = []dataset.SpatialKind{dataset.SUniform, dataset.SOSMLike, dataset.SSkewed}
+
+// E10PointMD — multi-dimensional exact-point queries.
+func E10PointMD(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Multi-dimensional exact-point queries (2-D): ns/query",
+		Columns: []string{"dataset", "index", "ns/lookup", "index_KiB"},
+	}
+	n := cfg.N / 2
+	for _, kind := range benchSpatialKinds {
+		pts := mustPoints(kind, n, 2, cfg.Seed)
+		pvs := dataset.PV(pts)
+		queries := dataset.KNNQueries(pts, cfg.Q/10, cfg.Seed+6)
+		for _, name := range lix.SpatialKinds() {
+			ix, err := lix.BuildSpatial(name, pvs)
+			if err != nil {
+				panic(err)
+			}
+			// Half the probes are existing points (hits), half perturbed.
+			var sink int
+			ns := nsPerOp(len(queries)+len(pvs)/10, func() {
+				for i := 0; i < len(pvs); i += 10 {
+					if _, ok := ix.Lookup(pvs[i].Point); ok {
+						sink++
+					}
+				}
+				for _, q := range queries {
+					if _, ok := ix.Lookup(q); ok {
+						sink++
+					}
+				}
+			})
+			_ = sink
+			t.AddRow(string(kind), name, ns, ix.Stats().IndexBytes/1024)
+		}
+	}
+	return []*Table{t}
+}
+
+// E11RangeMD — multi-dimensional range queries across selectivities.
+func E11RangeMD(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Multi-dimensional range queries (2-D, osm-like): µs/query (work units)",
+		Columns: []string{"index", "sel=1e-4", "sel=1e-3", "sel=1e-2", "sel=1e-1"},
+	}
+	n := cfg.N / 2
+	pts := mustPoints(dataset.SOSMLike, n, 2, cfg.Seed)
+	pvs := dataset.PV(pts)
+	for _, name := range lix.SpatialKinds() {
+		ix, err := lix.BuildSpatial(name, pvs)
+		if err != nil {
+			panic(err)
+		}
+		row := []interface{}{name}
+		for _, sel := range []float64{1e-4, 1e-3, 1e-2, 1e-1} {
+			qs := dataset.RectQueries(pts, 100, sel, cfg.Seed+7)
+			var visited, work int
+			ns := nsPerOp(len(qs), func() {
+				for _, q := range qs {
+					v, w := ix.Search(q, func(core.PV) bool { return true })
+					visited += v
+					work += w
+				}
+			})
+			row = append(row, fmt.Sprintf("%s (%d)", formatFloat(ns/1000), work/len(qs)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// E12KNN — k-nearest-neighbor queries.
+func E12KNN(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E12",
+		Title:   "k-nearest-neighbor queries (2-D, osm-like): µs/query",
+		Columns: []string{"index", "k=1", "k=10", "k=100"},
+	}
+	n := cfg.N / 2
+	pts := mustPoints(dataset.SOSMLike, n, 2, cfg.Seed)
+	pvs := dataset.PV(pts)
+	queries := dataset.KNNQueries(pts, 200, cfg.Seed+8)
+	for _, name := range []string{"rtree", "kdtree", "quadtree", "grid", "zm", "mlindex", "lisa"} {
+		ixAny, err := lix.BuildSpatial(name, pvs)
+		if err != nil {
+			panic(err)
+		}
+		ix := ixAny.(lix.KNNIndex)
+		row := []interface{}{name}
+		for _, k := range []int{1, 10, 100} {
+			var sink int
+			ns := nsPerOp(len(queries), func() {
+				for _, q := range queries {
+					sink += len(ix.KNN(q, k))
+				}
+			})
+			_ = sink
+			row = append(row, ns/1000)
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// E13InsertMD — multi-dimensional updates (LISA delta vs R-tree).
+func E13InsertMD(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E13",
+		Title:   "Multi-dimensional inserts into a pre-built index (2-D): Mops/s",
+		Columns: []string{"index", "insert_Mops", "query_after_us"},
+	}
+	n := cfg.N / 2
+	pts := mustPoints(dataset.SOSMLike, n, 2, cfg.Seed)
+	extra := mustPoints(dataset.SOSMLike, n/2, 2, cfg.Seed+9)
+	queries := dataset.RectQueries(pts, 100, 1e-3, cfg.Seed+10)
+	for _, name := range []string{"rtree", "quadtree", "grid", "lisa"} {
+		ixAny, err := lix.BuildSpatial(name, dataset.PV(pts))
+		if err != nil {
+			panic(err)
+		}
+		ix := ixAny.(lix.MutableSpatialIndex)
+		insNs := nsPerOp(len(extra), func() {
+			for i, p := range extra {
+				if err := ix.Insert(p, core.Value(1<<40+i)); err != nil {
+					panic(err)
+				}
+			}
+		})
+		var sink int
+		qNs := nsPerOp(len(queries), func() {
+			for _, q := range queries {
+				v, _ := ix.Search(q, func(core.PV) bool { return true })
+				sink += v
+			}
+		})
+		_ = sink
+		t.AddRow(name, 1000/insNs, qNs/1000)
+	}
+	return []*Table{t}
+}
+
+// E14Concurrent — XIndex scaling vs a globally-locked B-tree (§6.5).
+func E14Concurrent(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E14",
+		Title:   "Concurrent throughput, 95% reads / 5% writes (Mops/s total)",
+		Columns: []string{"index", "1 goroutine", "2", "4", fmt.Sprintf("%d (NumCPU)", runtime.NumCPU())},
+	}
+	keys := mustKeys(dataset.Uniform, cfg.N, cfg.Seed)
+	recs := dataset.KV(keys)
+	gs := []int{1, 2, 4, runtime.NumCPU()}
+
+	runWorkload := func(get func(core.Key), put func(core.Key, core.Value), workers int) float64 {
+		opsPer := cfg.Q / workers
+		if opsPer < 1 {
+			opsPer = 1
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				r := newRand(cfg.Seed + int64(id))
+				for o := 0; o < opsPer; o++ {
+					k := keys[r.Intn(len(keys))]
+					if r.Float64() < 0.95 {
+						get(k)
+					} else {
+						put(k, core.Value(o))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		total := float64(opsPer * workers)
+		return total / float64(time.Since(start).Nanoseconds()) * 1000 // Mops/s
+	}
+
+	// XIndex.
+	x, err := lix.BulkXIndex(recs, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	rowX := []interface{}{"xindex"}
+	for _, g := range gs {
+		rowX = append(rowX, runWorkload(func(k core.Key) { x.Get(k) }, func(k core.Key, v core.Value) { x.Insert(k, v) }, g))
+	}
+	t.AddRow(rowX...)
+
+	// Globally-locked B-tree.
+	bt, err := btree.Bulk(btree.DefaultOrder, recs)
+	if err != nil {
+		panic(err)
+	}
+	var mu sync.RWMutex
+	rowB := []interface{}{"btree+RWMutex"}
+	for _, g := range gs {
+		rowB = append(rowB, runWorkload(
+			func(k core.Key) { mu.RLock(); bt.Get(k); mu.RUnlock() },
+			func(k core.Key, v core.Value) { mu.Lock(); bt.Insert(k, v); mu.Unlock() },
+			g))
+	}
+	t.AddRow(rowB...)
+	return []*Table{t}
+}
+
+// E15Adversarial — worst-case guarantees under adversarial keys (§6.7).
+func E15Adversarial(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Adversarial key distribution: average and tail lookup cost",
+		Columns: []string{"index", "avg_ns", "p99_ns", "max_search_window"},
+	}
+	keys := mustKeys(dataset.Adversarial, cfg.N, cfg.Seed)
+	recs := dataset.KV(keys)
+	probes := dataset.LookupMix(keys, cfg.Q, 1.0, cfg.Seed+11)
+	type entry struct {
+		name   string
+		ix     lix.Index
+		window int
+	}
+	pg, _ := pgm.Build(recs, 32)
+	rm, _ := rmi.Build(recs, rmi.Config{})
+	bt, _ := lix.BulkBTree(0, recs)
+	entries := []entry{
+		{"pgm(eps=32)", pg, 2*pg.Epsilon() + 3},
+		{"rmi", rm, rm.MaxAbsError()*2 + 1},
+		{"btree", bt, 0},
+	}
+	for _, e := range entries {
+		lat := make([]float64, 0, len(probes))
+		var sink core.Value
+		for _, p := range probes {
+			s := time.Now()
+			v, _ := e.ix.Get(p)
+			lat = append(lat, float64(time.Since(s).Nanoseconds()))
+			sink += v
+		}
+		_ = sink
+		sort.Float64s(lat)
+		var sum float64
+		for _, l := range lat {
+			sum += l
+		}
+		t.AddRow(e.name, sum/float64(len(lat)), lat[len(lat)*99/100], e.window)
+	}
+	return []*Table{t}
+}
+
+// E16Layout — Flood's learned layout vs fixed layouts (§5.4 ablation).
+func E16Layout(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E16",
+		Title:   "Layout learning ablation (2-D, correlated data, skewed queries): µs/query",
+		Columns: []string{"layout", "us/query", "avg_work_units"},
+	}
+	n := cfg.N / 2
+	pts := mustPoints(dataset.SDiagonal, n, 2, cfg.Seed)
+	pvs := dataset.PV(pts)
+	train := dataset.RectQueries(pts, 100, 1e-3, cfg.Seed+12)
+	test := dataset.RectQueries(pts, 200, 1e-3, cfg.Seed+13)
+
+	type layout struct {
+		name string
+		run  func(q core.Rect) (int, int)
+	}
+	tuned, _, err := flood.BuildTuned(pvs, train, 0)
+	if err != nil {
+		panic(err)
+	}
+	uniformCols := []int{64, 1}
+	uniformIx, err := flood.Build(pvs, flood.Config{SortDim: 1, Cols: uniformCols})
+	if err != nil {
+		panic(err)
+	}
+	qd, err := qdtree.Build(pvs, train, qdtree.Config{})
+	if err != nil {
+		panic(err)
+	}
+	layouts := []layout{
+		{"flood-tuned", func(q core.Rect) (int, int) {
+			v, c := tuned.Search(q, func(core.PV) bool { return true })
+			return v, c
+		}},
+		{"flood-fixed64", func(q core.Rect) (int, int) {
+			v, c := uniformIx.Search(q, func(core.PV) bool { return true })
+			return v, c
+		}},
+		{"qdtree", func(q core.Rect) (int, int) {
+			v, _, scanned := qd.Search(q, func(core.PV) bool { return true })
+			return v, scanned
+		}},
+	}
+	for _, l := range layouts {
+		var work int
+		ns := nsPerOp(len(test), func() {
+			for _, q := range test {
+				_, w := l.run(q)
+				work += w
+			}
+		})
+		t.AddRow(l.name, ns/1000, work/len(test))
+	}
+	return []*Table{t}
+}
+
+// E17SFC — space-filling-curve ablation: Z-order vs Hilbert interval
+// counts and range-query latency, and the interval-budget sweep for the
+// ZM-index (the projection machinery behind Approach 2).
+func E17SFC(cfg Config) []*Table {
+	n := cfg.N / 2
+	pts := mustPoints(dataset.SOSMLike, n, 2, cfg.Seed)
+	pvs := dataset.PV(pts)
+
+	curveT := &Table{
+		ID:      "E17a",
+		Title:   "ZM-index curve ablation (2-D, osm-like): Z-order vs Hilbert",
+		Columns: []string{"curve", "sel", "us/query", "avg_intervals"},
+	}
+	for _, curve := range []zm.CurveKind{zm.CurveZ, zm.CurveHilbert} {
+		ix, err := zm.Build(pvs, zm.Config{Curve: curve, MaxRanges: 1 << 20})
+		if err != nil {
+			panic(err)
+		}
+		for _, sel := range []float64{1e-4, 1e-2} {
+			qs := dataset.RectQueries(pts, 100, sel, cfg.Seed+20)
+			var ivs int
+			ns := nsPerOp(len(qs), func() {
+				for _, q := range qs {
+					_, w := ix.Search(q, func(core.PV) bool { return true })
+					ivs += w
+				}
+			})
+			curveT.AddRow(string(curve), sel, ns/1000, ivs/len(qs))
+		}
+	}
+
+	budgetT := &Table{
+		ID:      "E17b",
+		Title:   "ZM-index interval-budget sweep (sel=1e-3): precision vs scan cost",
+		Columns: []string{"max_ranges", "us/query", "avg_intervals"},
+	}
+	qs := dataset.RectQueries(pts, 100, 1e-3, cfg.Seed+21)
+	for _, budget := range []int{2, 8, 32, 128, 1024} {
+		ix, err := zm.Build(pvs, zm.Config{MaxRanges: budget})
+		if err != nil {
+			panic(err)
+		}
+		var ivs int
+		ns := nsPerOp(len(qs), func() {
+			for _, q := range qs {
+				_, w := ix.Search(q, func(core.PV) bool { return true })
+				ivs += w
+			}
+		})
+		budgetT.AddRow(budget, ns/1000, ivs/len(qs))
+	}
+	return []*Table{curveT, budgetT}
+}
+
+// E18LearnedLSM — the Bourbon comparison: per-run learned indexes vs
+// binary search inside an LSM-tree.
+func E18LearnedLSM(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E18",
+		Title:   "Learned LSM-tree (Bourbon): per-run learned index vs binary search",
+		Columns: []string{"variant", "ns/get", "model_KiB", "runs", "segments"},
+	}
+	keys := mustKeys(dataset.Lognormal, cfg.N, cfg.Seed)
+	probes := dataset.LookupMix(keys, cfg.Q, 0.9, cfg.Seed+22)
+	r := newRand(cfg.Seed + 23)
+	perm := r.Perm(len(keys))
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"learned (radixspline runs)", false}, {"baseline (binary search)", true}} {
+		db := lsm.New(lsm.Config{MemtableCap: 8192, DisableLearnedIndex: variant.disable})
+		for _, i := range perm {
+			db.Put(keys[i], core.Value(i))
+		}
+		db.Flush()
+		var sink core.Value
+		ns := nsPerOp(len(probes), func() {
+			for _, p := range probes {
+				v, _ := db.Get(p)
+				sink += v
+			}
+		})
+		_ = sink
+		runs, segs, modelBytes := db.ModelStats()
+		t.AddRow(variant.name, ns, modelBytes/1024, runs, segs)
+	}
+	return []*Table{t}
+}
+
+// E19DimSweep — the curse of dimensionality (paper §5.1 motivation): how
+// point and range query cost grows with dimensionality for traditional vs
+// learned multi-dimensional indexes.
+func E19DimSweep(cfg Config) []*Table {
+	t := &Table{
+		ID:      "E19",
+		Title:   "Dimensionality sweep (uniform, sel=1e-3 ranges): µs/query",
+		Columns: []string{"index", "op", "d=2", "d=3", "d=4", "d=5"},
+	}
+	n := cfg.N / 4
+	dims := []int{2, 3, 4, 5}
+	kinds := []string{"rtree", "kdtree", "grid", "zm", "flood", "lisa", "mlindex"}
+	point := map[string][]interface{}{}
+	rng := map[string][]interface{}{}
+	for _, d := range dims {
+		pts := mustPoints(dataset.SUniform, n, d, cfg.Seed)
+		pvs := dataset.PV(pts)
+		queries := dataset.RectQueries(pts, 100, 1e-3, cfg.Seed+30)
+		for _, kind := range kinds {
+			ix, err := lix.BuildSpatial(kind, pvs)
+			if err != nil {
+				panic(err)
+			}
+			var sink int
+			pNs := nsPerOp(n/10, func() {
+				for i := 0; i < n; i += 10 {
+					if _, ok := ix.Lookup(pvs[i].Point); ok {
+						sink++
+					}
+				}
+			})
+			rNs := nsPerOp(len(queries), func() {
+				for _, q := range queries {
+					v, _ := ix.Search(q, func(core.PV) bool { return true })
+					sink += v
+				}
+			})
+			_ = sink
+			point[kind] = append(point[kind], pNs/1000)
+			rng[kind] = append(rng[kind], rNs/1000)
+		}
+	}
+	for _, kind := range kinds {
+		t.AddRow(append([]interface{}{kind, "point"}, point[kind]...)...)
+	}
+	for _, kind := range kinds {
+		t.AddRow(append([]interface{}{kind, "range"}, rng[kind]...)...)
+	}
+	return []*Table{t}
+}

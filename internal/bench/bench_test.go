@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := QuickConfig()
+	for _, id := range IDs() {
+		tables, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s: no tables", id)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 || len(tb.Columns) == 0 {
+				t.Fatalf("%s: empty table %q", id, tb.Title)
+			}
+			for _, r := range tb.Rows {
+				if len(r) != len(tb.Columns) {
+					t.Fatalf("%s: row width %d != %d columns", id, len(r), len(tb.Columns))
+				}
+			}
+			s := tb.String()
+			if !strings.Contains(s, tb.ID) {
+				t.Fatalf("%s: render missing ID", id)
+			}
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", QuickConfig()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "T", Title: "test", Columns: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 0.00001)
+	s := tb.String()
+	for _, want := range []string{"T — test", "a", "bb", "1", "2.500", "1.00e-05"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q in:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package bloom implements a standard Bloom filter over uint64 keys, the
+// traditional baseline that the learned Bloom filters in package lbf replace
+// or embed as their backup filter.
+package bloom
+
+import (
+	"math"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// Filter is a standard Bloom filter with k hash functions derived by double
+// hashing from two 64-bit mixes of the key.
+type Filter struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     int    // number of hash functions
+	count int
+}
+
+// New returns a filter sized for expectedItems at the target false-positive
+// rate fpr (clamped to [1e-9, 0.5]).
+func New(expectedItems int, fpr float64) *Filter {
+	if expectedItems < 1 {
+		expectedItems = 1
+	}
+	if fpr < 1e-9 {
+		fpr = 1e-9
+	}
+	if fpr > 0.5 {
+		fpr = 0.5
+	}
+	ln2 := math.Ln2
+	m := uint64(math.Ceil(-float64(expectedItems) * math.Log(fpr) / (ln2 * ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(expectedItems) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// NewBits returns a filter with exactly totalBits bits (rounded up to 64)
+// and the optimal k for expectedItems. This is the constructor used by the
+// space-budget experiments (bits-per-key sweeps).
+func NewBits(totalBits uint64, expectedItems int) *Filter {
+	if totalBits < 64 {
+		totalBits = 64
+	}
+	if expectedItems < 1 {
+		expectedItems = 1
+	}
+	k := int(math.Round(float64(totalBits) / float64(expectedItems) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &Filter{bits: make([]uint64, (totalBits+63)/64), m: totalBits, k: k}
+}
+
+func mix1(k core.Key) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func mix2(k core.Key) uint64 {
+	x := uint64(k) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts key k.
+func (f *Filter) Add(k core.Key) {
+	h1, h2 := mix1(k), mix2(k)|1
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos>>6] |= 1 << (pos & 63)
+	}
+	f.count++
+}
+
+// Contains reports whether k may be in the set (false positives possible,
+// false negatives impossible).
+func (f *Filter) Contains(k core.Key) bool {
+	h1, h2 := mix1(k), mix2(k)|1
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos>>6]&(1<<(pos&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Bytes returns the filter size in bytes.
+func (f *Filter) Bytes() int { return len(f.bits) * 8 }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Count returns the number of added keys.
+func (f *Filter) Count() int { return f.count }
+
+// EstimatedFPR returns the theoretical false-positive rate given the number
+// of added keys.
+func (f *Filter) EstimatedFPR() float64 {
+	if f.count == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.count)/float64(f.m)), float64(f.k))
+}

@@ -1,0 +1,102 @@
+package bloom
+
+import (
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Lognormal, 20000, 1)
+	f := New(len(keys), 0.01)
+	for _, k := range keys {
+		f.Add(k)
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestFPRNearTarget(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Uniform, 50000, 2)
+	f := New(len(keys), 0.01)
+	for _, k := range keys {
+		f.Add(k)
+	}
+	present := make(map[core.Key]bool, len(keys))
+	for _, k := range keys {
+		present[k] = true
+	}
+	neg, _ := dataset.Keys(dataset.Uniform, 50000, 999)
+	fp, total := 0, 0
+	for _, k := range neg {
+		if present[k] {
+			continue
+		}
+		total++
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	fpr := float64(fp) / float64(total)
+	if fpr > 0.03 {
+		t.Fatalf("observed FPR %g for target 0.01", fpr)
+	}
+	if est := f.EstimatedFPR(); est > 0.02 {
+		t.Fatalf("estimated FPR %g for target 0.01", est)
+	}
+}
+
+func TestNewBits(t *testing.T) {
+	f := NewBits(1<<16, 5000)
+	if f.Bits() < 1<<16 {
+		t.Fatalf("bits = %d", f.Bits())
+	}
+	if f.K() < 1 || f.K() > 30 {
+		t.Fatalf("k = %d", f.K())
+	}
+	f.Add(42)
+	if !f.Contains(42) {
+		t.Fatal("lost key")
+	}
+	if f.Count() != 1 {
+		t.Fatalf("count = %d", f.Count())
+	}
+	if f.Bytes() != int(f.Bits()/8) {
+		t.Fatalf("bytes = %d bits = %d", f.Bytes(), f.Bits())
+	}
+}
+
+func TestClamps(t *testing.T) {
+	f := New(0, 2.0) // silly params get clamped
+	f.Add(1)
+	if !f.Contains(1) {
+		t.Fatal("clamped filter broken")
+	}
+	f = New(10, 0) // fpr clamped up from 0
+	f.Add(1)
+	if !f.Contains(1) {
+		t.Fatal("zero-fpr filter broken")
+	}
+	f = NewBits(1, 0)
+	f.Add(7)
+	if !f.Contains(7) {
+		t.Fatal("tiny filter broken")
+	}
+	if f.EstimatedFPR() <= 0 {
+		t.Fatal("estimated FPR should be positive after Add")
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(100, 0.01)
+	if f.EstimatedFPR() != 0 {
+		t.Fatal("empty filter FPR should be 0")
+	}
+	if f.Contains(1) || f.Contains(0) {
+		t.Fatal("empty filter contains something")
+	}
+}

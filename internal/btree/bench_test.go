@@ -1,0 +1,49 @@
+package btree
+
+import (
+	"testing"
+
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func BenchmarkGet(b *testing.B) {
+	keys, _ := dataset.Keys(dataset.Lognormal, 1<<20, 1)
+	t, err := Bulk(DefaultOrder, dataset.KV(keys))
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := dataset.LookupMix(keys, 1<<16, 0.9, 2)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := t.Get(probes[i&(1<<16-1)])
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkGetInterpolated(b *testing.B) {
+	keys, _ := dataset.Keys(dataset.Uniform, 1<<20, 1)
+	t, err := Bulk(DefaultOrder, dataset.KV(keys))
+	if err != nil {
+		b.Fatal(err)
+	}
+	t.SetInterpolation(true)
+	probes := dataset.LookupMix(keys, 1<<16, 0.9, 2)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := t.Get(probes[i&(1<<16-1)])
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkInsert(b *testing.B) {
+	keys, _ := dataset.Keys(dataset.Uniform, 1<<18, 3)
+	t := NewDefault()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(keys[i&(1<<18-1)], 1)
+	}
+}

@@ -1,0 +1,237 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+func TestKeysSortedDistinctDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		a, err := Keys(kind, 5000, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(a) != 5000 {
+			t.Fatalf("%s: len = %d", kind, len(a))
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i] <= a[i-1] {
+				t.Fatalf("%s: not strictly sorted at %d: %d <= %d", kind, i, a[i], a[i-1])
+			}
+		}
+		b, err := Keys(kind, 5000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: not deterministic at %d", kind, i)
+			}
+		}
+		c, err := Keys(kind, 5000, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%s: different seeds produced identical data", kind)
+		}
+	}
+}
+
+func TestKeysErrors(t *testing.T) {
+	if _, err := Keys("nope", 10, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Keys(Uniform, -1, 1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	ks, err := Keys(Uniform, 0, 1)
+	if err != nil || len(ks) != 0 {
+		t.Fatalf("zero n: %v %v", ks, err)
+	}
+}
+
+func TestKVAndFloats(t *testing.T) {
+	keys, _ := Keys(Uniform, 100, 7)
+	recs := KV(keys)
+	for i, rec := range recs {
+		if rec.Key != keys[i] || rec.Value != PayloadFor(keys[i]) {
+			t.Fatalf("KV[%d] = %+v", i, rec)
+		}
+	}
+	xs := Floats(keys)
+	for i := range xs {
+		if xs[i] != float64(keys[i]) {
+			t.Fatal("Floats mismatch")
+		}
+	}
+}
+
+func TestLookupMix(t *testing.T) {
+	keys, _ := Keys(Clustered, 10000, 3)
+	qs := LookupMix(keys, 2000, 0.5, 9)
+	if len(qs) != 2000 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	present := make(map[core.Key]bool, len(keys))
+	for _, k := range keys {
+		present[k] = true
+	}
+	hits := 0
+	for _, q := range qs {
+		if present[q] {
+			hits++
+		}
+	}
+	if hits < 800 || hits > 1400 {
+		t.Fatalf("hit count %d far from expected ~1000", hits)
+	}
+}
+
+func TestZipfKeys(t *testing.T) {
+	keys, _ := Keys(Uniform, 1000, 3)
+	qs := ZipfKeys(keys, 5000, 4)
+	counts := map[core.Key]int{}
+	for _, q := range qs {
+		counts[q]++
+	}
+	// Zipf should concentrate: the most popular key appears far more often
+	// than the average rate of 5.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 50 {
+		t.Fatalf("zipf max frequency = %d, want skewed", max)
+	}
+}
+
+func TestRanges(t *testing.T) {
+	keys, _ := Keys(Uniform, 10000, 5)
+	rs := Ranges(keys, 100, 0.01, 6)
+	for _, q := range rs {
+		if q.Hi < q.Lo {
+			t.Fatalf("inverted range %+v", q)
+		}
+		lo := core.LowerBound(keys, q.Lo)
+		hi := core.UpperBound(keys, q.Hi)
+		got := hi - lo
+		if got < 1 || got > 300 {
+			t.Fatalf("selectivity off: %d records for sel 0.01 of 10000", got)
+		}
+	}
+}
+
+func TestPoints(t *testing.T) {
+	for _, kind := range SpatialKinds() {
+		pts, err := Points(kind, 3000, 2, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(pts) != 3000 {
+			t.Fatalf("%s: len %d", kind, len(pts))
+		}
+		for _, p := range pts {
+			if p.Dim() != 2 {
+				t.Fatalf("%s: dim %d", kind, p.Dim())
+			}
+			for d := range p {
+				if p[d] < 0 || p[d] >= Extent {
+					t.Fatalf("%s: coord out of range: %v", kind, p)
+				}
+			}
+		}
+		// Determinism.
+		pts2, _ := Points(kind, 3000, 2, 11)
+		for i := range pts {
+			if !pts[i].Equal(pts2[i]) {
+				t.Fatalf("%s: not deterministic", kind)
+			}
+		}
+	}
+	if _, err := Points("bogus", 10, 2, 1); err == nil {
+		t.Fatal("unknown spatial kind accepted")
+	}
+	if _, err := Points(SUniform, 10, 0, 1); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+}
+
+func TestDiagonalIsCorrelated(t *testing.T) {
+	pts, _ := Points(SDiagonal, 2000, 2, 13)
+	// Pearson correlation between dims should be near 1.
+	var sx, sy, sxx, syy, sxy float64
+	n := float64(len(pts))
+	for _, p := range pts {
+		sx += p[0]
+		sy += p[1]
+		sxx += p[0] * p[0]
+		syy += p[1] * p[1]
+		sxy += p[0] * p[1]
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	if r := cov / (sqrt(vx) * sqrt(vy)); r < 0.95 {
+		t.Fatalf("diagonal correlation = %g, want > 0.95", r)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton is fine for a test helper.
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestRectQueriesAndKNN(t *testing.T) {
+	pts, _ := Points(SUniform, 5000, 3, 17)
+	qs := RectQueries(pts, 50, 0.001, 18)
+	if len(qs) != 50 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q.Dim() != 3 {
+			t.Fatalf("rect dim %d", q.Dim())
+		}
+		for d := 0; d < 3; d++ {
+			if q.Min[d] > q.Max[d] {
+				t.Fatalf("inverted rect %+v", q)
+			}
+		}
+	}
+	if RectQueries(nil, 5, 0.1, 1) != nil {
+		t.Fatal("RectQueries(nil) should be nil")
+	}
+	knn := KNNQueries(pts, 20, 19)
+	if len(knn) != 20 {
+		t.Fatalf("knn len = %d", len(knn))
+	}
+	if KNNQueries(nil, 5, 1) != nil {
+		t.Fatal("KNNQueries(nil) should be nil")
+	}
+}
+
+func TestPV(t *testing.T) {
+	pts, _ := Points(SUniform, 10, 2, 1)
+	pv := PV(pts)
+	for i := range pv {
+		if pv[i].Value != core.Value(i) || !pv[i].Point.Equal(pts[i]) {
+			t.Fatalf("PV[%d] = %+v", i, pv[i])
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package drift provides model-drift detection for learned indexes (paper
+// §6.3): changes in the data or query distribution show up as growing
+// last-mile search costs, and a detector watching that signal decides when
+// to retrain. Two standard detectors are provided — an EWMA ratio test and
+// the Page–Hinkley cumulative test — both stdlib-only and allocation-free
+// on the observe path, so they can sit on an index's hot path.
+//
+// Typical use: feed Observe the per-lookup correction cost (search-window
+// width, exponential-search displacement, or delta-buffer hit depth); when
+// it returns true, rebuild or retrain the index and Reset the detector
+// with the new baseline.
+package drift
+
+import (
+	"fmt"
+	"math"
+)
+
+// EWMA flags drift when an exponentially weighted moving average of the
+// observed cost exceeds Threshold times the baseline cost.
+type EWMA struct {
+	baseline  float64
+	alpha     float64
+	threshold float64
+	ewma      float64
+	n         int
+	warmup    int
+}
+
+// NewEWMA returns an EWMA detector. baseline is the expected per-operation
+// cost right after (re)training; threshold is the ratio that signals drift
+// (e.g. 2.0 = costs doubled); alpha is the smoothing factor (0 selects
+// 0.01, ~100-observation memory).
+func NewEWMA(baseline, threshold, alpha float64) (*EWMA, error) {
+	if baseline <= 0 {
+		return nil, fmt.Errorf("drift: baseline must be positive, got %g", baseline)
+	}
+	if threshold <= 1 {
+		return nil, fmt.Errorf("drift: threshold must exceed 1, got %g", threshold)
+	}
+	if alpha == 0 {
+		alpha = 0.01
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("drift: alpha must be in (0,1], got %g", alpha)
+	}
+	return &EWMA{baseline: baseline, alpha: alpha, threshold: threshold,
+		ewma: baseline, warmup: int(2 / alpha)}, nil
+}
+
+// Observe records one cost sample and reports whether drift is signaled.
+func (d *EWMA) Observe(cost float64) bool {
+	d.ewma += d.alpha * (cost - d.ewma)
+	d.n++
+	if d.n < d.warmup {
+		return false
+	}
+	return d.ewma > d.threshold*d.baseline
+}
+
+// Ratio returns the current smoothed cost relative to the baseline.
+func (d *EWMA) Ratio() float64 { return d.ewma / d.baseline }
+
+// Reset re-arms the detector after a retrain with a new baseline.
+func (d *EWMA) Reset(baseline float64) {
+	if baseline > 0 {
+		d.baseline = baseline
+	}
+	d.ewma = d.baseline
+	d.n = 0
+}
+
+// PageHinkley is the Page–Hinkley sequential change detector: it
+// accumulates deviations of the observed cost above the running mean and
+// signals when the accumulated drift exceeds Lambda. It reacts to sustained
+// shifts and ignores isolated spikes.
+type PageHinkley struct {
+	delta  float64 // magnitude tolerance
+	lambda float64 // detection threshold
+	mean   float64
+	mT     float64 // cumulative deviation
+	minMT  float64
+	n      int
+}
+
+// NewPageHinkley returns a Page–Hinkley detector. delta is the tolerated
+// deviation per observation (in cost units); lambda is the cumulative
+// deviation that signals drift.
+func NewPageHinkley(delta, lambda float64) (*PageHinkley, error) {
+	if delta < 0 || lambda <= 0 {
+		return nil, fmt.Errorf("drift: need delta >= 0 and lambda > 0 (got %g, %g)", delta, lambda)
+	}
+	return &PageHinkley{delta: delta, lambda: lambda, minMT: math.Inf(1)}, nil
+}
+
+// Observe records one cost sample and reports whether drift is signaled.
+func (d *PageHinkley) Observe(cost float64) bool {
+	d.n++
+	d.mean += (cost - d.mean) / float64(d.n)
+	d.mT += cost - d.mean - d.delta
+	if d.mT < d.minMT {
+		d.minMT = d.mT
+	}
+	return d.mT-d.minMT > d.lambda
+}
+
+// Reset re-arms the detector after a retrain.
+func (d *PageHinkley) Reset() {
+	d.mean, d.mT, d.n = 0, 0, 0
+	d.minMT = math.Inf(1)
+}
+
+// Excess returns the current accumulated deviation above the minimum, the
+// statistic compared against lambda.
+func (d *PageHinkley) Excess() float64 {
+	if math.IsInf(d.minMT, 1) {
+		return 0
+	}
+	return d.mT - d.minMT
+}

@@ -1,0 +1,161 @@
+package drift
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+	"github.com/lix-go/lix/internal/fiting"
+)
+
+func TestEWMAStationaryNoFalseAlarm(t *testing.T) {
+	d, err := NewEWMA(10, 2.0, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		// Stationary: mean 10 with noise.
+		if d.Observe(10 + r.NormFloat64()*3) {
+			t.Fatalf("false alarm at %d (ratio %g)", i, d.Ratio())
+		}
+	}
+}
+
+func TestEWMADetectsShift(t *testing.T) {
+	d, _ := NewEWMA(10, 2.0, 0.02)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if d.Observe(10 + r.NormFloat64()*2) {
+			t.Fatal("false alarm during stationary phase")
+		}
+	}
+	fired := -1
+	for i := 0; i < 2000; i++ {
+		if d.Observe(40 + r.NormFloat64()*5) { // 4x cost shift
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("shift never detected")
+	}
+	if fired > 500 {
+		t.Fatalf("detection too slow: %d observations", fired)
+	}
+	// Reset re-arms.
+	d.Reset(40)
+	for i := 0; i < 500; i++ {
+		if d.Observe(40 + r.NormFloat64()*5) {
+			t.Fatal("false alarm after reset to new baseline")
+		}
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	if _, err := NewEWMA(0, 2, 0.1); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+	if _, err := NewEWMA(1, 1, 0.1); err == nil {
+		t.Fatal("threshold 1 accepted")
+	}
+	if _, err := NewEWMA(1, 2, 3); err == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+}
+
+func TestPageHinkleyDetectsSustainedShiftIgnoresSpikes(t *testing.T) {
+	d, err := NewPageHinkley(2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		cost := 10 + r.NormFloat64()*2
+		if i%500 == 499 {
+			cost = 200 // isolated spike must not trigger
+		}
+		if d.Observe(cost) {
+			t.Fatalf("false alarm at %d (excess %g)", i, d.Excess())
+		}
+	}
+	fired := -1
+	for i := 0; i < 3000; i++ {
+		if d.Observe(25 + r.NormFloat64()*2) { // sustained 2.5x shift
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("sustained shift never detected")
+	}
+	d.Reset()
+	if d.Excess() != 0 {
+		t.Fatal("reset did not clear excess")
+	}
+	if _, err := NewPageHinkley(-1, 10); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+	if _, err := NewPageHinkley(1, 0); err == nil {
+		t.Fatal("zero lambda accepted")
+	}
+}
+
+// TestRetrainLoopWithLearnedIndex is the §6.3 end-to-end scenario: a
+// FITing-tree serves lookups while inserts shift the key distribution; the
+// detector watches the per-segment model quality proxy (buffered fraction)
+// and triggers a rebuild, restoring the cost.
+func TestRetrainLoopWithLearnedIndex(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Uniform, 30000, 4)
+	ix, err := fiting.Build(dataset.KV(keys), 64, 1<<20 /* huge buffers: no auto-merge */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costOf := func() float64 {
+		// Proxy for lookup cost: buffered records per segment (the delta
+		// the model cannot predict into).
+		st := ix.Stats()
+		buffered := st.Count - 30000 // records beyond the trained base
+		if buffered < 0 {
+			buffered = 0
+		}
+		return 1 + float64(buffered)/float64(st.Models)
+	}
+	det, err := NewEWMA(costOf(), 3.0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a shifted distribution; detector should eventually fire.
+	shift, _ := dataset.Keys(dataset.Clustered, 60000, 5)
+	fired := false
+	for i, k := range shift {
+		ix.Insert(k, 1)
+		if det.Observe(costOf()) {
+			fired = true
+			// Retrain: rebuild the index over the merged contents.
+			var recs []core.KV
+			ix.Range(0, ^core.Key(0), func(k core.Key, v core.Value) bool {
+				recs = append(recs, core.KV{Key: k, Value: v})
+				return true
+			})
+			ix, err = fiting.Build(recs, 64, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			det.Reset(costOf())
+			t.Logf("retrained after %d inserts", i+1)
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("drift never detected during distribution shift")
+	}
+	// After retraining, the detector stays quiet under the new stationary
+	// distribution for a while.
+	for i := 0; i < 1000; i++ {
+		if det.Observe(costOf()) {
+			t.Fatal("false alarm immediately after retrain")
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package grid
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func worldBounds(dim int) core.Rect {
+	min := make(core.Point, dim)
+	max := make(core.Point, dim)
+	for d := range max {
+		max[d] = dataset.Extent
+	}
+	return core.Rect{Min: min, Max: max}
+}
+
+func buildGrid(t *testing.T, pts []core.Point, cells int) (*Grid, []core.PV) {
+	t.Helper()
+	g, err := New(worldBounds(pts[0].Dim()), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvs := dataset.PV(pts)
+	for _, pv := range pvs {
+		if err := g.Insert(pv.Point, pv.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, pvs
+}
+
+func TestSearchMatchesBrute(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		pts, _ := dataset.Points(dataset.SOSMLike, 3000, dim, 71)
+		g, pvs := buildGrid(t, pts, 16)
+		for qi, q := range dataset.RectQueries(pts, 30, 0.01, 72) {
+			want := 0
+			for _, pv := range pvs {
+				if q.Contains(pv.Point) {
+					want++
+				}
+			}
+			n, buckets := g.Search(q, func(core.PV) bool { return true })
+			if n != want {
+				t.Fatalf("dim=%d q%d: got %d, want %d", dim, qi, n, want)
+			}
+			if buckets <= 0 {
+				t.Fatal("no buckets")
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBrute(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 2000, 2, 73)
+	g, pvs := buildGrid(t, pts, 20)
+	for _, k := range []int{1, 9, 80} {
+		for qi, q := range dataset.KNNQueries(pts, 15, 74) {
+			ds := make([]float64, len(pvs))
+			for i, pv := range pvs {
+				ds[i] = q.DistSq(pv.Point)
+			}
+			sort.Float64s(ds)
+			got := g.KNN(q, k)
+			if len(got) != k {
+				t.Fatalf("q%d k=%d: len %d", qi, k, len(got))
+			}
+			for i, pv := range got {
+				if d := q.DistSq(pv.Point); d != ds[i] {
+					t.Fatalf("q%d k=%d i=%d: %g want %g", qi, k, i, d, ds[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 500, 2, 75)
+	g, pvs := buildGrid(t, pts, 8)
+	for i := 0; i < 250; i++ {
+		if !g.Delete(pvs[i].Point, pvs[i].Value) {
+			t.Fatalf("delete %d missed", i)
+		}
+	}
+	if g.Len() != 250 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if g.Delete(pvs[0].Point, pvs[0].Value) {
+		t.Fatal("double delete")
+	}
+	if g.Delete(core.Point{1}, 0) {
+		t.Fatal("dim mismatch delete")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(core.Rect{}, 4); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	if _, err := New(worldBounds(2), 0); err == nil {
+		t.Fatal("0 cells accepted")
+	}
+	if _, err := New(worldBounds(4), 1000); err == nil {
+		t.Fatal("huge grid accepted")
+	}
+	g, _ := New(worldBounds(2), 4)
+	if err := g.Insert(core.Point{1}, 0); err == nil {
+		t.Fatal("dim mismatch insert accepted")
+	}
+	if got := g.KNN(core.Point{0, 0}, 3); got != nil {
+		t.Fatal("kNN on empty")
+	}
+}
+
+func TestOutOfBoundsClamping(t *testing.T) {
+	g, _ := New(worldBounds(2), 4)
+	if err := g.Insert(core.Point{-100, 2 * dataset.Extent}, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Searchable via a rect covering the boundary cells.
+	rect, _ := core.NewRect(core.Point{-200, 0}, core.Point{0, 3 * dataset.Extent})
+	found := false
+	g.Search(rect, func(pv core.PV) bool {
+		found = pv.Value == 7
+		return true
+	})
+	if !found {
+		t.Fatal("clamped point not found")
+	}
+}
+
+func TestKNNFewerThanK(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 5, 2, 76)
+	g, _ := buildGrid(t, pts, 4)
+	if got := g.KNN(core.Point{0, 0}, 50); len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestStats(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 1000, 2, 77)
+	g, _ := buildGrid(t, pts, 8)
+	st := g.Stats()
+	if st.Count != 1000 || st.Models <= 0 || st.IndexBytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 300, 2, 78)
+	g, _ := buildGrid(t, pts, 8)
+	count := 0
+	g.Search(worldBounds(2), func(core.PV) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}

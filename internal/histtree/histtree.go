@@ -1,0 +1,208 @@
+// Package histtree implements the Hist-Tree (Crotty, CIDR 2021: "Hist-Tree:
+// Those Who Ignore It Are Doomed to Learn"): an immutable index that
+// recursively partitions the key *space* into equal-width bins with record
+// counts, descending until a bin holds at most a threshold of records. It
+// needs no trained model at all — the histogram counts play the role the
+// CDF model plays in learned indexes — which makes it the strongest
+// "you may not need to learn" baseline in the immutable/pure branch.
+package histtree
+
+import (
+	"fmt"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// DefaultFanout is the default number of bins per node (must be a power of
+// two).
+const DefaultFanout = 16
+
+// DefaultLeafSize is the default maximum records a terminal bin may hold.
+const DefaultLeafSize = 32
+
+// Index is an immutable Hist-Tree over a sorted record array.
+type Index struct {
+	recs     []core.KV
+	keys     []core.Key
+	fanout   int
+	leafSize int
+	root     *node
+	n        int
+	nodes    int
+}
+
+type node struct {
+	loKey    core.Key // inclusive key-space lower bound
+	width    uint64   // bin width (key-space units per bin)
+	start    int      // position range [start, end) covered
+	end      int
+	children []*node // nil for terminal; children[i] may be nil (empty bin)
+	starts   []int   // per-bin start positions (len fanout+1), terminal nodes too
+}
+
+// Build constructs a Hist-Tree over recs (sorted ascending). recs is
+// retained. fanout must be a power of two >= 2 (0 selects DefaultFanout);
+// leafSize >= 1 (0 selects DefaultLeafSize).
+func Build(recs []core.KV, fanout, leafSize int) (*Index, error) {
+	if fanout == 0 {
+		fanout = DefaultFanout
+	}
+	if leafSize == 0 {
+		leafSize = DefaultLeafSize
+	}
+	if fanout < 2 || fanout&(fanout-1) != 0 {
+		return nil, fmt.Errorf("histtree: fanout %d not a power of two >= 2", fanout)
+	}
+	if leafSize < 1 {
+		return nil, fmt.Errorf("histtree: leafSize %d", leafSize)
+	}
+	n := len(recs)
+	for i := 1; i < n; i++ {
+		if recs[i].Key < recs[i-1].Key {
+			return nil, fmt.Errorf("histtree: input not sorted at %d", i)
+		}
+	}
+	ix := &Index{recs: recs, fanout: fanout, leafSize: leafSize, n: n}
+	ix.keys = make([]core.Key, n)
+	for i := range recs {
+		ix.keys[i] = recs[i].Key
+	}
+	if n == 0 {
+		return ix, nil
+	}
+	lo := ix.keys[0]
+	hi := ix.keys[n-1]
+	// width*fanout must cover hi-lo+1 without the uint64 overflow that
+	// hi-lo+1 itself can hit when the keys span the whole key space.
+	width := uint64(hi-lo)/uint64(fanout) + 1
+	ix.root = ix.build(lo, width, 0, n)
+	return ix, nil
+}
+
+// build creates the node over positions [start, end) with bins
+// [loKey + i*width, loKey + (i+1)*width).
+func (ix *Index) build(loKey core.Key, width uint64, start, end int) *node {
+	ix.nodes++
+	nd := &node{loKey: loKey, width: width, start: start, end: end}
+	f := ix.fanout
+	nd.starts = make([]int, f+1)
+	pos := start
+	for b := 0; b < f; b++ {
+		nd.starts[b] = pos
+		// Advance pos to the first key >= bin upper bound.
+		var binHi uint64
+		overflow := false
+		binHi = uint64(loKey) + uint64(b+1)*width
+		if binHi < uint64(loKey) { // wrapped
+			overflow = true
+		}
+		if overflow {
+			pos = end
+		} else {
+			pos = core.SearchRange(ix.keys, core.Key(binHi), pos, end)
+		}
+	}
+	nd.starts[f] = end
+	if end-start <= ix.leafSize || width == 1 {
+		return nd // terminal: bins narrow the final binary search
+	}
+	nd.children = make([]*node, f)
+	childWidth := (width + uint64(f) - 1) / uint64(f)
+	if childWidth == 0 {
+		childWidth = 1
+	}
+	for b := 0; b < f; b++ {
+		s, e := nd.starts[b], nd.starts[b+1]
+		if e-s == 0 {
+			continue
+		}
+		if e-s <= ix.leafSize {
+			// Small bin: resolved by binary search directly; no child.
+			continue
+		}
+		nd.children[b] = ix.build(loKey+core.Key(uint64(b)*width), childWidth, s, e)
+	}
+	return nd
+}
+
+// LowerBound returns the smallest position i with keys[i] >= k.
+func (ix *Index) LowerBound(k core.Key) int {
+	if ix.n == 0 {
+		return 0
+	}
+	nd := ix.root
+	if k < nd.loKey {
+		return 0
+	}
+	for {
+		off := uint64(k-nd.loKey) / nd.width
+		if off >= uint64(ix.fanout) {
+			// Beyond the node's key space: everything here is smaller.
+			return nd.end
+		}
+		b := int(off)
+		if nd.children != nil && nd.children[b] != nil {
+			nd = nd.children[b]
+			continue
+		}
+		return core.SearchRange(ix.keys, k, nd.starts[b], nd.starts[b+1])
+	}
+}
+
+// Get returns the value stored for k.
+func (ix *Index) Get(k core.Key) (core.Value, bool) {
+	i := ix.LowerBound(k)
+	if i < ix.n && ix.keys[i] == k {
+		return ix.recs[i].Value, true
+	}
+	return 0, false
+}
+
+// Range calls fn for records with lo <= key <= hi ascending; fn returning
+// false stops. Returns records visited.
+func (ix *Index) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	i := ix.LowerBound(lo)
+	count := 0
+	for ; i < ix.n && ix.keys[i] <= hi; i++ {
+		count++
+		if !fn(ix.keys[i], ix.recs[i].Value) {
+			break
+		}
+	}
+	return count
+}
+
+// Len returns the number of records.
+func (ix *Index) Len() int { return ix.n }
+
+// Nodes returns the number of histogram nodes.
+func (ix *Index) Nodes() int { return ix.nodes }
+
+// Stats reports structure statistics.
+func (ix *Index) Stats() core.Stats {
+	var height func(nd *node) int
+	height = func(nd *node) int {
+		if nd == nil || nd.children == nil {
+			return 1
+		}
+		m := 1
+		for _, c := range nd.children {
+			if h := height(c); h+1 > m {
+				m = h + 1
+			}
+		}
+		return m
+	}
+	h := 0
+	if ix.root != nil {
+		h = height(ix.root)
+	}
+	return core.Stats{
+		Name:       "histtree",
+		Count:      ix.n,
+		IndexBytes: ix.nodes * (8*(ix.fanout+1) + 32),
+		DataBytes:  16 * ix.n,
+		Height:     h,
+		Models:     ix.nodes,
+	}
+}

@@ -1,0 +1,126 @@
+package histtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func TestAllDistributions(t *testing.T) {
+	for _, kind := range dataset.Kinds() {
+		keys, err := dataset.Keys(kind, 5000, 401)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := Build(dataset.KV(keys), 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range keys {
+			v, ok := ix.Get(k)
+			if !ok || v != dataset.PayloadFor(k) {
+				t.Fatalf("%s: Get(%d) failed at %d", kind, k, i)
+			}
+			if lb := ix.LowerBound(k); lb != i {
+				t.Fatalf("%s: LowerBound(%d) = %d, want %d", kind, k, lb, i)
+			}
+		}
+	}
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Adversarial, 6000, 402)
+	ix, err := Build(dataset.KV(keys), 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(probe core.Key) bool {
+		return ix.LowerBound(probe) == core.LowerBound(keys, probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(403))
+	for i := 0; i < 3000; i++ {
+		probe := keys[r.Intn(len(keys))] + core.Key(r.Intn(5)) - 2
+		if ix.LowerBound(probe) != core.LowerBound(keys, probe) {
+			t.Fatalf("probe %d mismatch", probe)
+		}
+	}
+}
+
+func TestExtremeProbes(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Uniform, 1000, 404)
+	ix, _ := Build(dataset.KV(keys), 16, 8)
+	if ix.LowerBound(0) != 0 {
+		t.Fatal("LowerBound(0)")
+	}
+	if ix.LowerBound(^core.Key(0)) != 1000 {
+		t.Fatal("LowerBound(max)")
+	}
+}
+
+func TestErrorsAndDegenerate(t *testing.T) {
+	if _, err := Build(nil, 12, 8); err == nil {
+		t.Fatal("non-power-of-two fanout accepted")
+	}
+	if _, err := Build(nil, 16, -1); err == nil {
+		t.Fatal("negative leafSize accepted")
+	}
+	if _, err := Build([]core.KV{{Key: 2}, {Key: 1}}, 16, 8); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	ix, err := Build(nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.LowerBound(1) != 0 || ix.Len() != 0 {
+		t.Fatal("empty index")
+	}
+	ix, _ = Build([]core.KV{{Key: 5, Value: 3}}, 0, 0)
+	if v, ok := ix.Get(5); !ok || v != 3 {
+		t.Fatal("single record")
+	}
+	// Dense duplicates force width-1 terminals.
+	var recs []core.KV
+	for i := 0; i < 2000; i++ {
+		recs = append(recs, core.KV{Key: core.Key(i / 100), Value: core.Value(i)})
+	}
+	ix, err = Build(recs, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if lb := ix.LowerBound(core.Key(i)); lb != i*100 {
+			t.Fatalf("dup LowerBound(%d) = %d", i, lb)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Sequential, 5000, 405)
+	ix, _ := Build(dataset.KV(keys), 0, 0)
+	for _, q := range dataset.Ranges(keys, 30, 0.01, 406) {
+		want := core.UpperBound(keys, q.Hi) - core.LowerBound(keys, q.Lo)
+		if got := ix.Range(q.Lo, q.Hi, func(core.Key, core.Value) bool { return true }); got != want {
+			t.Fatalf("Range = %d, want %d", got, want)
+		}
+	}
+	count := 0
+	ix.Range(0, ^core.Key(0), func(core.Key, core.Value) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatal("early stop")
+	}
+}
+
+func TestStats(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Clustered, 20000, 407)
+	ix, _ := Build(dataset.KV(keys), 16, 32)
+	st := ix.Stats()
+	if st.Count != 20000 || st.Models != ix.Nodes() || st.Height < 2 || st.IndexBytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,171 @@
+package kdtree
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func bruteRange(pvs []core.PV, rect core.Rect) map[core.Value]bool {
+	out := map[core.Value]bool{}
+	for _, pv := range pvs {
+		if rect.Contains(pv.Point) {
+			out[pv.Value] = true
+		}
+	}
+	return out
+}
+
+func bruteKNN(pvs []core.PV, q core.Point, k int) []float64 {
+	ds := make([]float64, len(pvs))
+	for i, pv := range pvs {
+		ds[i] = q.DistSq(pv.Point)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func TestBuildAndSearch(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		pts, _ := dataset.Points(dataset.SOSMLike, 3000, dim, 51)
+		pvs := dataset.PV(pts)
+		tr, err := Build(pvs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != 3000 {
+			t.Fatalf("len = %d", tr.Len())
+		}
+		for qi, q := range dataset.RectQueries(pts, 30, 0.01, 52) {
+			want := bruteRange(pvs, q)
+			got := map[core.Value]bool{}
+			n, nodes := tr.Search(q, func(pv core.PV) bool {
+				got[pv.Value] = true
+				return true
+			})
+			if n != len(want) {
+				t.Fatalf("dim=%d q%d: got %d, want %d", dim, qi, n, len(want))
+			}
+			for v := range want {
+				if !got[v] {
+					t.Fatalf("dim=%d q%d: missing %d", dim, qi, v)
+				}
+			}
+			if nodes <= 0 {
+				t.Fatal("no nodes touched")
+			}
+		}
+	}
+}
+
+func TestInsertThenSearch(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 2000, 2, 53)
+	pvs := dataset.PV(pts)
+	tr, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pv := range pvs {
+		if err := tr.Insert(pv.Point, pv.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for qi, q := range dataset.RectQueries(pts, 20, 0.02, 54) {
+		want := bruteRange(pvs, q)
+		n, _ := tr.Search(q, func(core.PV) bool { return true })
+		if n != len(want) {
+			t.Fatalf("q%d: got %d, want %d", qi, n, len(want))
+		}
+	}
+}
+
+func TestKNNMatchesBrute(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SSkewed, 2500, 2, 55)
+	pvs := dataset.PV(pts)
+	tr, _ := Build(pvs)
+	for _, k := range []int{1, 10, 100} {
+		for qi, q := range dataset.KNNQueries(pts, 20, 56) {
+			want := bruteKNN(pvs, q, k)
+			got := tr.KNN(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("q%d k=%d: len %d", qi, k, len(got))
+			}
+			for i, pv := range got {
+				if d := q.DistSq(pv.Point); d != want[i] {
+					t.Fatalf("q%d k=%d i=%d: %g want %g", qi, k, i, d, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	// Many points sharing coordinates must all be findable.
+	var pvs []core.PV
+	for i := 0; i < 300; i++ {
+		pvs = append(pvs, core.PV{Point: core.Point{float64(i % 10), float64(i % 3)}, Value: core.Value(i)})
+	}
+	tr, err := Build(pvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, _ := core.NewRect(core.Point{0, 0}, core.Point{9, 2})
+	n, _ := tr.Search(rect, func(core.PV) bool { return true })
+	if n != 300 {
+		t.Fatalf("found %d of 300 duplicate-coordinate points", n)
+	}
+}
+
+func TestErrorsAndEmpty(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Fatal("empty build accepted")
+	}
+	if _, err := New(0); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	if _, err := Build([]core.PV{{Point: core.Point{1}}, {Point: core.Point{1, 2}}}); err == nil {
+		t.Fatal("mixed dims accepted")
+	}
+	tr, _ := New(2)
+	if got := tr.KNN(core.Point{0, 0}, 5); got != nil {
+		t.Fatal("kNN on empty")
+	}
+	if err := tr.Insert(core.Point{1}, 0); err == nil {
+		t.Fatal("dim mismatch insert accepted")
+	}
+	if tr.Height() != 0 {
+		t.Fatal("empty height")
+	}
+	tr.Insert(core.Point{1, 1}, 0)
+	if tr.Height() != 1 || tr.Len() != 1 {
+		t.Fatal("single insert")
+	}
+	st := tr.Stats()
+	if st.Count != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBalancedBuildIsShallow(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 1<<12, 2, 57)
+	tr, _ := Build(dataset.PV(pts))
+	if h := tr.Height(); h > 16 {
+		t.Fatalf("median-split height %d for 4096 points", h)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 500, 2, 58)
+	tr, _ := Build(dataset.PV(pts))
+	rect, _ := core.NewRect(core.Point{0, 0}, core.Point{dataset.Extent, dataset.Extent})
+	count := 0
+	tr.Search(rect, func(core.PV) bool { count++; return count < 4 })
+	if count != 4 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}

@@ -1,0 +1,404 @@
+// Package lbf implements learned Bloom filters: the classifier+backup
+// architecture of Kraska et al. (2018), the sandwiched variant of
+// Mitzenmacher (NeurIPS 2018), and a partitioned variant in the spirit of
+// Vaidya et al. (ICLR 2020). All three guarantee zero false negatives, like
+// the standard Bloom filter they replace (taxonomy: hybrid learned index,
+// Bloom-filter branch; paper §6.6 index compression).
+//
+// The classifier is a small logistic-regression model over smooth features
+// of the normalized key. Keys the classifier rejects are inserted into a
+// standard backup Bloom filter; membership queries consult the classifier
+// first and fall back to the backup filter.
+package lbf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/lix-go/lix/internal/bloom"
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/mlmodel"
+)
+
+// normalizer maps keys into [0, 1] for the classifier features.
+type normalizer struct {
+	min, span float64
+}
+
+func newNormalizer(keys, negs []core.Key) normalizer {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, k := range keys {
+		x := float64(k)
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	for _, k := range negs {
+		x := float64(k)
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if !(hi > lo) {
+		return normalizer{min: lo, span: 1}
+	}
+	return normalizer{min: lo, span: hi - lo}
+}
+
+func (n normalizer) apply(k core.Key) float64 {
+	return (float64(k) - n.min) / n.span
+}
+
+func trainClassifier(keys, negs []core.Key, norm normalizer) (*mlmodel.Logistic, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("lbf: no positive keys")
+	}
+	if len(negs) == 0 {
+		return nil, fmt.Errorf("lbf: training requires negative samples")
+	}
+	xs := make([]float64, 0, len(keys)+len(negs))
+	labels := make([]bool, 0, len(keys)+len(negs))
+	for _, k := range keys {
+		xs = append(xs, norm.apply(k))
+		labels = append(labels, true)
+	}
+	for _, k := range negs {
+		xs = append(xs, norm.apply(k))
+		labels = append(labels, false)
+	}
+	m := mlmodel.NewLogistic(mlmodel.KeyFeatureDim, mlmodel.KeyFeatures)
+	m.Epochs = 12
+	if err := m.FitLabels(xs, labels); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Classic learned Bloom filter
+// ---------------------------------------------------------------------------
+
+// Filter is the classic learned Bloom filter: classifier + backup filter.
+type Filter struct {
+	model     *mlmodel.Logistic
+	norm      normalizer
+	threshold float64
+	backup    *bloom.Filter
+	count     int
+}
+
+// Train builds a learned Bloom filter over keys using negs as the negative
+// training sample. totalBits is the overall space budget; targetTauFPR is
+// the fraction of training negatives allowed to pass the classifier alone
+// (the threshold is set to that quantile of negative scores; 0 selects
+// 0.02, so the classifier contributes at most ~2% FPR and the backup
+// filter the rest).
+func Train(keys, negs []core.Key, totalBits uint64, targetTauFPR float64) (*Filter, error) {
+	norm := newNormalizer(keys, negs)
+	model, err := trainClassifier(keys, negs, norm)
+	if err != nil {
+		return nil, err
+	}
+	f := &Filter{model: model, norm: norm, count: len(keys)}
+	// Negative and key score distributions.
+	negScores := make([]float64, len(negs))
+	for i, k := range negs {
+		negScores[i] = model.Predict(norm.apply(k))
+	}
+	sort.Float64s(negScores)
+	keyScores := make([]float64, len(keys))
+	for i, k := range keys {
+		keyScores[i] = model.Predict(norm.apply(k))
+	}
+	sort.Float64s(keyScores)
+	modelBitsEst := uint64(model.Bytes()) * 8
+	budget := uint64(64)
+	if totalBits > modelBitsEst+64 {
+		budget = totalBits - modelBitsEst
+	}
+	if targetTauFPR <= 0 || targetTauFPR >= 1 {
+		// Auto-tune tau: overall FPR ~= tau + (1-tau) * backupFPR(misses),
+		// where misses is the number of keys scoring below the threshold.
+		// Pick the candidate minimizing the analytic estimate.
+		best, bestFPR := 0.02, math.Inf(1)
+		for _, tau := range []float64{0.3, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.0005} {
+			thr := negScores[int(float64(len(negScores)-1)*(1-tau))]
+			misses := sort.SearchFloat64s(keyScores, thr)
+			est := tau + (1-tau)*bloomFPREstimate(budget, misses)
+			if est < bestFPR {
+				best, bestFPR = tau, est
+			}
+		}
+		targetTauFPR = best
+	}
+	// Threshold: the (1 - targetTauFPR) quantile of negative scores.
+	f.threshold = negScores[int(float64(len(negScores)-1)*(1-targetTauFPR))]
+	if f.threshold >= 1 {
+		f.threshold = 0.999999
+	}
+	// Backup filter for the classifier's false negatives.
+	var misses []core.Key
+	for _, k := range keys {
+		if model.Predict(norm.apply(k)) < f.threshold {
+			misses = append(misses, k)
+		}
+	}
+	modelBits := uint64(model.Bytes()) * 8
+	backupBits := uint64(64)
+	if totalBits > modelBits+64 {
+		backupBits = totalBits - modelBits
+	}
+	nMiss := len(misses)
+	if nMiss == 0 {
+		nMiss = 1
+	}
+	f.backup = bloom.NewBits(backupBits, nMiss)
+	for _, k := range misses {
+		f.backup.Add(k)
+	}
+	return f, nil
+}
+
+// Contains reports whether k may be in the set (no false negatives).
+func (f *Filter) Contains(k core.Key) bool {
+	if f.model.Predict(f.norm.apply(k)) >= f.threshold {
+		return true
+	}
+	return f.backup.Contains(k)
+}
+
+// Bits returns the total size in bits (model + backup).
+func (f *Filter) Bits() uint64 {
+	return uint64(f.model.Bytes())*8 + f.backup.Bits()
+}
+
+// Count returns the number of keys stored.
+func (f *Filter) Count() int { return f.count }
+
+// BackupKeys returns how many keys fell through to the backup filter.
+func (f *Filter) BackupKeys() int { return f.backup.Count() }
+
+// Threshold returns the learned score threshold.
+func (f *Filter) Threshold() float64 { return f.threshold }
+
+// ---------------------------------------------------------------------------
+// Sandwiched learned Bloom filter
+// ---------------------------------------------------------------------------
+
+// Sandwich is Mitzenmacher's sandwiched LBF: an initial Bloom filter culls
+// most negatives before they reach the classifier, and a backup filter
+// catches classifier false negatives.
+type Sandwich struct {
+	pre   *bloom.Filter
+	inner *Filter
+}
+
+// TrainSandwich builds a sandwiched LBF with the given total bit budget;
+// preFrac (0 selects 0.5) of the budget goes to the initial filter.
+func TrainSandwich(keys, negs []core.Key, totalBits uint64, preFrac float64) (*Sandwich, error) {
+	if preFrac <= 0 || preFrac >= 1 {
+		preFrac = 0.5
+	}
+	preBits := uint64(float64(totalBits) * preFrac)
+	if preBits < 64 {
+		preBits = 64
+	}
+	n := len(keys)
+	if n == 0 {
+		return nil, fmt.Errorf("lbf: no positive keys")
+	}
+	pre := bloom.NewBits(preBits, n)
+	for _, k := range keys {
+		pre.Add(k)
+	}
+	rest := uint64(64)
+	if totalBits > preBits+64 {
+		rest = totalBits - preBits
+	}
+	inner, err := Train(keys, negs, rest, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Sandwich{pre: pre, inner: inner}, nil
+}
+
+// Contains reports whether k may be in the set (no false negatives).
+func (s *Sandwich) Contains(k core.Key) bool {
+	return s.pre.Contains(k) && s.inner.Contains(k)
+}
+
+// Bits returns the total size in bits.
+func (s *Sandwich) Bits() uint64 { return s.pre.Bits() + s.inner.Bits() }
+
+// ---------------------------------------------------------------------------
+// Partitioned learned Bloom filter
+// ---------------------------------------------------------------------------
+
+// Partitioned divides the classifier score range into regions; regions
+// dominated by keys accept directly, the others carry per-region backup
+// filters sized by their key counts (a simplified PLBF).
+type Partitioned struct {
+	model   *mlmodel.Logistic
+	norm    normalizer
+	cuts    []float64 // region boundaries (ascending); len = regions-1
+	accept  []bool
+	backups []*bloom.Filter
+	count   int
+}
+
+// TrainPartitioned builds a partitioned LBF with the given number of score
+// regions (0 selects 6) and total bit budget.
+func TrainPartitioned(keys, negs []core.Key, totalBits uint64, regions int) (*Partitioned, error) {
+	if regions <= 0 {
+		regions = 6
+	}
+	norm := newNormalizer(keys, negs)
+	model, err := trainClassifier(keys, negs, norm)
+	if err != nil {
+		return nil, err
+	}
+	p := &Partitioned{model: model, norm: norm, count: len(keys)}
+	// Equal-count cuts over the combined score distribution.
+	all := make([]float64, 0, len(keys)+len(negs))
+	for _, k := range keys {
+		all = append(all, model.Predict(norm.apply(k)))
+	}
+	for _, k := range negs {
+		all = append(all, model.Predict(norm.apply(k)))
+	}
+	sort.Float64s(all)
+	for r := 1; r < regions; r++ {
+		p.cuts = append(p.cuts, all[r*len(all)/regions])
+	}
+	// Assign keys/negatives to regions.
+	keyCnt := make([]int, regions)
+	negCnt := make([]int, regions)
+	keyRegion := make([]int, len(keys))
+	for i, k := range keys {
+		r := p.region(model.Predict(norm.apply(k)))
+		keyRegion[i] = r
+		keyCnt[r]++
+	}
+	for _, k := range negs {
+		negCnt[p.region(model.Predict(norm.apply(k)))]++
+	}
+	// Regions with overwhelming key majority accept directly.
+	p.accept = make([]bool, regions)
+	p.backups = make([]*bloom.Filter, regions)
+	backupKeys := 0
+	for r := 0; r < regions; r++ {
+		total := keyCnt[r] + negCnt[r]
+		if keyCnt[r] > 0 && total > 0 && float64(keyCnt[r])/float64(total) >= 0.95 {
+			p.accept[r] = true
+		} else {
+			backupKeys += keyCnt[r]
+		}
+	}
+	modelBits := uint64(model.Bytes()) * 8
+	budget := uint64(64 * regions)
+	if totalBits > modelBits+budget {
+		budget = totalBits - modelBits
+	}
+	for r := 0; r < regions; r++ {
+		if p.accept[r] || keyCnt[r] == 0 {
+			continue
+		}
+		bits := uint64(float64(budget) * float64(keyCnt[r]) / float64(max(backupKeys, 1)))
+		if bits < 64 {
+			bits = 64
+		}
+		p.backups[r] = bloom.NewBits(bits, keyCnt[r])
+	}
+	for i, k := range keys {
+		r := keyRegion[i]
+		if !p.accept[r] && p.backups[r] != nil {
+			p.backups[r].Add(k)
+		}
+	}
+	return p, nil
+}
+
+func (p *Partitioned) region(score float64) int {
+	r := 0
+	for r < len(p.cuts) && score >= p.cuts[r] {
+		r++
+	}
+	return r
+}
+
+// Contains reports whether k may be in the set (no false negatives).
+func (p *Partitioned) Contains(k core.Key) bool {
+	r := p.region(p.model.Predict(p.norm.apply(k)))
+	if p.accept[r] {
+		return true
+	}
+	if p.backups[r] == nil {
+		return false
+	}
+	return p.backups[r].Contains(k)
+}
+
+// Bits returns the total size in bits.
+func (p *Partitioned) Bits() uint64 {
+	total := uint64(p.model.Bytes()) * 8
+	for _, b := range p.backups {
+		if b != nil {
+			total += b.Bits()
+		}
+	}
+	return total
+}
+
+// Regions returns the number of score regions.
+func (p *Partitioned) Regions() int { return len(p.cuts) + 1 }
+
+// ---------------------------------------------------------------------------
+// Evaluation helper
+// ---------------------------------------------------------------------------
+
+// Container is any no-false-negative membership structure.
+type Container interface {
+	Contains(core.Key) bool
+}
+
+// MeasureFPR returns the observed false-positive rate of c over probes,
+// which must contain no true members.
+func MeasureFPR(c Container, probes []core.Key) float64 {
+	if len(probes) == 0 {
+		return 0
+	}
+	fp := 0
+	for _, k := range probes {
+		if c.Contains(k) {
+			fp++
+		}
+	}
+	return float64(fp) / float64(len(probes))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// bloomFPREstimate returns the theoretical FPR of an optimally-configured
+// Bloom filter with m bits holding n keys.
+func bloomFPREstimate(m uint64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	k := math.Round(float64(m) / float64(n) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	return math.Pow(1-math.Exp(-k*float64(n)/float64(m)), k)
+}

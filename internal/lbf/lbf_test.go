@@ -1,0 +1,166 @@
+package lbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lix-go/lix/internal/bloom"
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+// learnableSet returns a key set with strong structure (keys live in a
+// compact band of the key space) plus train/test negative samples drawn
+// from outside-band and in-band gaps.
+func learnableSet(n int, seed int64) (keys, trainNeg, testNeg []core.Key) {
+	r := rand.New(rand.NewSource(seed))
+	seen := map[core.Key]bool{}
+	for len(keys) < n {
+		k := core.Key(1<<40 + r.Int63n(1<<30)) // dense band
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	gen := func(m int) []core.Key {
+		var out []core.Key
+		for len(out) < m {
+			var k core.Key
+			if r.Intn(2) == 0 {
+				k = core.Key(r.Int63n(1 << 40)) // below band
+			} else {
+				k = core.Key(1<<41 + r.Int63n(1<<45)) // above band
+			}
+			if !seen[k] {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	return keys, gen(n), gen(n)
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	keys, trainNeg, _ := learnableSet(5000, 801)
+	bits := uint64(8 * len(keys))
+	f, err := Train(keys, trainNeg, bits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative %d", k)
+		}
+	}
+	s, err := TrainSandwich(keys, trainNeg, bits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !s.Contains(k) {
+			t.Fatalf("sandwich false negative %d", k)
+		}
+	}
+	p, err := TrainPartitioned(keys, trainNeg, bits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !p.Contains(k) {
+			t.Fatalf("partitioned false negative %d", k)
+		}
+	}
+}
+
+func TestLearnedBeatsStandardOnLearnableData(t *testing.T) {
+	keys, trainNeg, testNeg := learnableSet(8000, 802)
+	bits := uint64(6 * len(keys)) // tight budget: 6 bits/key
+	std := bloom.NewBits(bits, len(keys))
+	for _, k := range keys {
+		std.Add(k)
+	}
+	f, err := Train(keys, trainNeg, bits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdFPR := MeasureFPR(std, testNeg)
+	lbfFPR := MeasureFPR(f, testNeg)
+	// On strongly learnable data the LBF should not be much worse, and is
+	// typically better. Allow slack for the tiny model.
+	if lbfFPR > stdFPR*1.5+0.02 {
+		t.Fatalf("learned FPR %.4f vs standard %.4f", lbfFPR, stdFPR)
+	}
+	if f.BackupKeys() == len(keys) {
+		t.Fatal("classifier learned nothing: all keys in backup")
+	}
+}
+
+func TestFilterBitsAccounting(t *testing.T) {
+	keys, trainNeg, _ := learnableSet(2000, 803)
+	bits := uint64(16 * len(keys))
+	f, _ := Train(keys, trainNeg, bits, 0.2)
+	if f.Bits() == 0 || f.Bits() > bits+4096 {
+		t.Fatalf("bits = %d budget %d", f.Bits(), bits)
+	}
+	if f.Count() != len(keys) {
+		t.Fatal("count")
+	}
+	if f.Threshold() <= 0 || f.Threshold() >= 1 {
+		t.Fatalf("threshold = %g", f.Threshold())
+	}
+	s, _ := TrainSandwich(keys, trainNeg, bits, 0.4)
+	if s.Bits() == 0 {
+		t.Fatal("sandwich bits")
+	}
+	p, _ := TrainPartitioned(keys, trainNeg, bits, 8)
+	if p.Bits() == 0 || p.Regions() != 8 {
+		t.Fatalf("partitioned bits %d regions %d", p.Bits(), p.Regions())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Train(nil, []core.Key{1}, 1024, 0); err == nil {
+		t.Fatal("no keys accepted")
+	}
+	if _, err := Train([]core.Key{1}, nil, 1024, 0); err == nil {
+		t.Fatal("no negatives accepted")
+	}
+	if _, err := TrainSandwich(nil, []core.Key{1}, 1024, 0); err == nil {
+		t.Fatal("sandwich no keys accepted")
+	}
+	if _, err := TrainPartitioned(nil, []core.Key{1}, 1024, 0); err == nil {
+		t.Fatal("partitioned no keys accepted")
+	}
+}
+
+func TestUnlearnableDataStillCorrect(t *testing.T) {
+	// Uniformly random keys are unlearnable; the LBF must degrade to
+	// (roughly) a standard filter but never produce false negatives.
+	keys, _ := dataset.Keys(dataset.Uniform, 3000, 804)
+	negs, _ := dataset.Keys(dataset.Uniform, 3000, 805)
+	present := map[core.Key]bool{}
+	for _, k := range keys {
+		present[k] = true
+	}
+	var train []core.Key
+	for _, k := range negs {
+		if !present[k] {
+			train = append(train, k)
+		}
+	}
+	f, err := Train(keys, train, uint64(10*len(keys)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative %d", k)
+		}
+	}
+}
+
+func TestMeasureFPREmpty(t *testing.T) {
+	if MeasureFPR(bloom.New(10, 0.1), nil) != 0 {
+		t.Fatal("empty probes")
+	}
+}

@@ -1,0 +1,530 @@
+// Package lisa implements LISA (Li et al., "LISA: A Learned Index
+// Structure for Spatial Data", SIGMOD 2020) in its in-memory form: a
+// monotone *mapping function* projects points to one dimension via an
+// equal-depth grid (grid cell rank plus a within-cell offset along
+// dimension 0), the mapped domain is split into learned shards, and each
+// shard holds a sorted run plus a delta buffer for updates. Shards that
+// overflow split, keeping the structure balanced under inserts.
+//
+// Taxonomy: mutable / pure / delta-buffer insert / projected space.
+package lisa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// Config parameterizes a build.
+type Config struct {
+	// GridCols is the number of equal-depth slices per dimension (0 -> 16).
+	GridCols int
+	// ShardSize is the target records per shard (0 -> 1024).
+	ShardSize int
+	// DeltaCap triggers a shard merge (0 -> ShardSize/4).
+	DeltaCap int
+}
+
+type mappedRec struct {
+	m  float64
+	pv core.PV
+}
+
+type shard struct {
+	loM   float64 // smallest mapped value routed here
+	recs  []mappedRec
+	delta []mappedRec // sorted by m
+}
+
+// Index is a LISA index.
+type Index struct {
+	cfg    Config
+	dim    int
+	bounds [][]float64 // per dim: sorted column boundaries (len cols+1)
+	shards []*shard
+	// router: linear model over shard loM -> index, corrected by walk.
+	slope, base float64
+	size        int
+	// Merges and Splits count shard maintenance events (diagnostics).
+	Merges int
+	Splits int
+}
+
+// Build constructs a LISA index over the points.
+func Build(pvs []core.PV, cfg Config) (*Index, error) {
+	if len(pvs) == 0 {
+		return nil, fmt.Errorf("lisa: empty input")
+	}
+	dim := pvs[0].Point.Dim()
+	for i := range pvs {
+		if pvs[i].Point.Dim() != dim {
+			return nil, fmt.Errorf("lisa: point %d dim %d, want %d", i, pvs[i].Point.Dim(), dim)
+		}
+	}
+	if cfg.GridCols <= 0 {
+		cfg.GridCols = 16
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = 1024
+	}
+	if cfg.DeltaCap <= 0 {
+		cfg.DeltaCap = cfg.ShardSize / 4
+		if cfg.DeltaCap < 16 {
+			cfg.DeltaCap = 16
+		}
+	}
+	ix := &Index{cfg: cfg, dim: dim, size: len(pvs)}
+	// Equal-depth boundaries per dimension.
+	ix.bounds = make([][]float64, dim)
+	coord := make([]float64, len(pvs))
+	for d := 0; d < dim; d++ {
+		for i, pv := range pvs {
+			coord[i] = pv.Point[d]
+		}
+		sort.Float64s(coord)
+		b := make([]float64, cfg.GridCols+1)
+		b[0] = math.Inf(-1)
+		for c := 1; c < cfg.GridCols; c++ {
+			b[c] = coord[c*len(coord)/cfg.GridCols]
+		}
+		b[cfg.GridCols] = math.Inf(1)
+		// Boundaries must be strictly increasing for column search; nudge
+		// duplicates (heavy ties collapse columns, which is harmless).
+		for c := 1; c <= cfg.GridCols; c++ {
+			if b[c] <= b[c-1] {
+				b[c] = b[c-1]
+			}
+		}
+		ix.bounds[d] = b
+	}
+	// Map and sort.
+	ms := make([]mappedRec, len(pvs))
+	for i, pv := range pvs {
+		ms[i] = mappedRec{m: ix.mapPoint(pv.Point), pv: pv}
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].m < ms[j].m })
+	// Shard.
+	for i := 0; i < len(ms); i += cfg.ShardSize {
+		end := i + cfg.ShardSize
+		if end > len(ms) {
+			end = len(ms)
+		}
+		sh := &shard{recs: append([]mappedRec(nil), ms[i:end]...)}
+		sh.loM = sh.recs[0].m
+		ix.shards = append(ix.shards, sh)
+	}
+	ix.shards[0].loM = math.Inf(-1)
+	ix.retrainRouter()
+	return ix, nil
+}
+
+func (ix *Index) retrainRouter() {
+	n := len(ix.shards)
+	if n < 2 {
+		ix.slope, ix.base = 0, 0
+		return
+	}
+	lo := ix.shards[1].loM
+	hi := ix.shards[n-1].loM
+	ix.base = lo
+	if hi > lo {
+		ix.slope = float64(n-2) / (hi - lo)
+	} else {
+		ix.slope = 0
+	}
+}
+
+// column returns the grid column of v in dimension d.
+func (ix *Index) column(d int, v float64) int {
+	b := ix.bounds[d]
+	// Last c with b[c] <= v; b[0] = -inf guarantees c >= 0.
+	lo, hi := 0, len(b)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if b[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if lo >= ix.cfg.GridCols {
+		lo = ix.cfg.GridCols - 1
+	}
+	return lo
+}
+
+// cellRank flattens per-dimension columns.
+func (ix *Index) cellRank(cols []int) float64 {
+	r := 0
+	for d := 0; d < ix.dim; d++ {
+		r = r*ix.cfg.GridCols + cols[d]
+	}
+	return float64(r)
+}
+
+// frac returns the monotone within-cell offset of v along dimension 0
+// given its column c, in [0, 1).
+func (ix *Index) frac(c int, v float64) float64 {
+	b := ix.bounds[0]
+	lo, hi := b[c], b[c+1]
+	if math.IsInf(lo, -1) || math.IsInf(hi, 1) || hi <= lo {
+		// Open-ended edge cells: squash with a bounded sigmoid-ish map.
+		return 0.5
+	}
+	f := (v - lo) / (hi - lo)
+	if f < 0 {
+		f = 0
+	}
+	if f >= 1 {
+		f = math.Nextafter(1, 0)
+	}
+	return f
+}
+
+// cellM combines a cell rank with a within-cell fraction, guaranteeing the
+// result stays strictly below rank+1 (the sum can otherwise round up at
+// large ranks, colliding with the next cell's values).
+func cellM(rank, f float64) float64 {
+	m := rank + f
+	if m >= rank+1 {
+		m = math.Nextafter(rank+1, 0)
+	}
+	return m
+}
+
+// mapPoint is LISA's monotone mapping function M.
+func (ix *Index) mapPoint(p core.Point) float64 {
+	cols := make([]int, ix.dim)
+	for d := 0; d < ix.dim; d++ {
+		cols[d] = ix.column(d, p[d])
+	}
+	return cellM(ix.cellRank(cols), ix.frac(cols[0], p[0]))
+}
+
+// locate returns the shard index owning mapped value m.
+func (ix *Index) locate(m float64) int {
+	i := core.Clamp(int(ix.slope*(m-ix.base))+1, 0, len(ix.shards)-1)
+	for i+1 < len(ix.shards) && m >= ix.shards[i+1].loM {
+		i++
+	}
+	for i > 0 && m < ix.shards[i].loM {
+		i--
+	}
+	return i
+}
+
+// Len returns the number of points.
+func (ix *Index) Len() int { return ix.size }
+
+// Shards returns the shard count.
+func (ix *Index) Shards() int { return len(ix.shards) }
+
+func lowerBoundM(recs []mappedRec, m float64) int {
+	lo, hi := 0, len(recs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if recs[mid].m < m {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// firstShardFor returns the index of the first shard that can hold mapped
+// value m. Equal mapped values may span several shards after count-based
+// splits, so this backtracks from the routing result.
+func (ix *Index) firstShardFor(m float64) int {
+	si := ix.locate(m)
+	for si > 0 && ix.shards[si].loM >= m {
+		si--
+	}
+	return si
+}
+
+// forEachEq visits every record with mapped value exactly m.
+func (ix *Index) forEachEq(m float64, fn func(rec *mappedRec) bool) {
+	for si := ix.firstShardFor(m); si < len(ix.shards); si++ {
+		sh := ix.shards[si]
+		if sh.loM > m {
+			return
+		}
+		for _, run := range [][]mappedRec{sh.delta, sh.recs} {
+			for i := lowerBoundM(run, m); i < len(run) && run[i].m == m; i++ {
+				if !fn(&run[i]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Lookup returns the value of the point equal to p.
+func (ix *Index) Lookup(p core.Point) (core.Value, bool) {
+	if p.Dim() != ix.dim {
+		return 0, false
+	}
+	m := ix.mapPoint(p)
+	var out core.Value
+	found := false
+	ix.forEachEq(m, func(rec *mappedRec) bool {
+		if rec.pv.Point.Equal(p) {
+			out, found = rec.pv.Value, true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+// Insert adds a point.
+func (ix *Index) Insert(p core.Point, v core.Value) error {
+	if p.Dim() != ix.dim {
+		return fmt.Errorf("lisa: point dim %d, want %d", p.Dim(), ix.dim)
+	}
+	m := ix.mapPoint(p)
+	sh := ix.shards[ix.locate(m)]
+	i := lowerBoundM(sh.delta, m)
+	sh.delta = append(sh.delta, mappedRec{})
+	copy(sh.delta[i+1:], sh.delta[i:])
+	sh.delta[i] = mappedRec{m: m, pv: core.PV{Point: p.Clone(), Value: v}}
+	ix.size++
+	if len(sh.delta) >= ix.cfg.DeltaCap {
+		ix.mergeShard(sh)
+	}
+	return nil
+}
+
+// Delete removes one point equal to p with matching value.
+func (ix *Index) Delete(p core.Point, v core.Value) bool {
+	if p.Dim() != ix.dim {
+		return false
+	}
+	m := ix.mapPoint(p)
+	for si := ix.firstShardFor(m); si < len(ix.shards); si++ {
+		sh := ix.shards[si]
+		if sh.loM > m {
+			break
+		}
+		for _, runp := range []*[]mappedRec{&sh.delta, &sh.recs} {
+			run := *runp
+			for i := lowerBoundM(run, m); i < len(run) && run[i].m == m; i++ {
+				if run[i].pv.Value == v && run[i].pv.Point.Equal(p) {
+					*runp = append(run[:i], run[i+1:]...)
+					ix.size--
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// mergeShard folds the delta into the base run and splits if oversized.
+func (ix *Index) mergeShard(sh *shard) {
+	merged := make([]mappedRec, 0, len(sh.recs)+len(sh.delta))
+	i, j := 0, 0
+	for i < len(sh.recs) || j < len(sh.delta) {
+		switch {
+		case i >= len(sh.recs):
+			merged = append(merged, sh.delta[j])
+			j++
+		case j >= len(sh.delta):
+			merged = append(merged, sh.recs[i])
+			i++
+		case sh.delta[j].m < sh.recs[i].m:
+			merged = append(merged, sh.delta[j])
+			j++
+		default:
+			merged = append(merged, sh.recs[i])
+			i++
+		}
+	}
+	sh.delta = nil
+	ix.Merges++
+	if len(merged) <= 2*ix.cfg.ShardSize {
+		sh.recs = merged
+		return
+	}
+	// Split into target-size shards.
+	pos := ix.shardIndex(sh)
+	var repl []*shard
+	for s := 0; s < len(merged); s += ix.cfg.ShardSize {
+		e := s + ix.cfg.ShardSize
+		if e > len(merged) {
+			e = len(merged)
+		}
+		ns := &shard{recs: append([]mappedRec(nil), merged[s:e]...)}
+		ns.loM = ns.recs[0].m
+		repl = append(repl, ns)
+	}
+	repl[0].loM = sh.loM
+	out := make([]*shard, 0, len(ix.shards)-1+len(repl))
+	out = append(out, ix.shards[:pos]...)
+	out = append(out, repl...)
+	out = append(out, ix.shards[pos+1:]...)
+	ix.shards = out
+	ix.Splits++
+	ix.retrainRouter()
+}
+
+func (ix *Index) shardIndex(sh *shard) int {
+	for i, s := range ix.shards {
+		if s == sh {
+			return i
+		}
+	}
+	panic("lisa: shard not found")
+}
+
+// Search calls fn for every point in rect; fn returning false stops.
+// Returns points visited and candidate records scanned.
+func (ix *Index) Search(rect core.Rect, fn func(core.PV) bool) (visited, scanned int) {
+	if rect.Dim() != ix.dim {
+		return 0, 0
+	}
+	lo := make([]int, ix.dim)
+	hi := make([]int, ix.dim)
+	for d := 0; d < ix.dim; d++ {
+		lo[d] = ix.column(d, rect.Min[d])
+		hi[d] = ix.column(d, rect.Max[d])
+	}
+	cols := make([]int, ix.dim)
+	copy(cols, lo)
+	stop := false
+	for !stop {
+		// Mapped interval of this cell restricted to the rect's dim-0 span.
+		rank := ix.cellRank(cols)
+		var fLo, fHi float64
+		if cols[0] == lo[0] {
+			fLo = ix.frac(cols[0], rect.Min[0])
+		}
+		if cols[0] == hi[0] {
+			fHi = ix.frac(cols[0], rect.Max[0])
+		} else {
+			// Strictly below the next cell's rank so no record is scanned
+			// by two adjacent cell intervals.
+			fHi = math.Nextafter(1, 0)
+		}
+		mLo := cellM(rank, fLo)
+		mHi := cellM(rank, fHi)
+		v, s, cont := ix.scanMapped(mLo, mHi, rect, fn)
+		visited += v
+		scanned += s
+		if !cont {
+			return visited, scanned
+		}
+		// Odometer.
+		d := ix.dim - 1
+		for d >= 0 {
+			cols[d]++
+			if cols[d] <= hi[d] {
+				break
+			}
+			cols[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return visited, scanned
+}
+
+// scanMapped scans shards covering [mLo, mHi], filtering by rect.
+func (ix *Index) scanMapped(mLo, mHi float64, rect core.Rect, fn func(core.PV) bool) (visited, scanned int, cont bool) {
+	for si := ix.firstShardFor(mLo); si < len(ix.shards); si++ {
+		sh := ix.shards[si]
+		if sh.loM > mHi {
+			break
+		}
+		for _, run := range [][]mappedRec{sh.recs, sh.delta} {
+			for i := lowerBoundM(run, mLo); i < len(run) && run[i].m <= mHi; i++ {
+				scanned++
+				if rect.Contains(run[i].pv.Point) {
+					visited++
+					if !fn(run[i].pv) {
+						return visited, scanned, false
+					}
+				}
+			}
+		}
+	}
+	return visited, scanned, true
+}
+
+// KNN returns the k nearest points to q in ascending distance order by
+// doubling an axis-aligned window until the k-th candidate is inside the
+// window's inscribed ball.
+func (ix *Index) KNN(q core.Point, k int) []core.PV {
+	if k <= 0 || q.Dim() != ix.dim || ix.size == 0 {
+		return nil
+	}
+	if k > ix.size {
+		k = ix.size
+	}
+	span := 0.0
+	for d := 0; d < ix.dim; d++ {
+		b := ix.bounds[d]
+		// Use the finite interior span.
+		if len(b) >= 3 {
+			s := b[len(b)-2] - b[1]
+			if s > span {
+				span = s
+			}
+		}
+	}
+	if span <= 0 {
+		span = 1
+	}
+	w := span * 0.02
+	for {
+		rect := core.Rect{Min: make(core.Point, ix.dim), Max: make(core.Point, ix.dim)}
+		for d := 0; d < ix.dim; d++ {
+			rect.Min[d] = q[d] - w
+			rect.Max[d] = q[d] + w
+		}
+		var cand []core.PV
+		ix.Search(rect, func(pv core.PV) bool {
+			cand = append(cand, pv)
+			return true
+		})
+		if len(cand) >= k {
+			sort.Slice(cand, func(i, j int) bool {
+				return q.DistSq(cand[i].Point) < q.DistSq(cand[j].Point)
+			})
+			if q.DistSq(cand[k-1].Point) <= w*w {
+				return cand[:k]
+			}
+		}
+		if w > 4*span {
+			sort.Slice(cand, func(i, j int) bool {
+				return q.DistSq(cand[i].Point) < q.DistSq(cand[j].Point)
+			})
+			if len(cand) > k {
+				cand = cand[:k]
+			}
+			return cand
+		}
+		w *= 2
+	}
+}
+
+// Stats reports structure statistics.
+func (ix *Index) Stats() core.Stats {
+	var deltaRecs int
+	for _, sh := range ix.shards {
+		deltaRecs += len(sh.delta)
+	}
+	return core.Stats{
+		Name:       "lisa",
+		Count:      ix.size,
+		IndexBytes: len(ix.shards)*32 + ix.dim*(ix.cfg.GridCols+1)*8 + deltaRecs*8,
+		DataBytes:  ix.size * (8*ix.dim + 16),
+		Height:     2,
+		Models:     len(ix.shards) + ix.dim,
+	}
+}

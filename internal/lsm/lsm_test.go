@@ -1,0 +1,212 @@
+package lsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func TestPutGetAcrossFlushes(t *testing.T) {
+	db := New(Config{MemtableCap: 256, L0Runs: 3})
+	const n = 20000
+	r := rand.New(rand.NewSource(1))
+	perm := r.Perm(n)
+	for _, i := range perm {
+		db.Put(core.Key(i*3), core.Value(i))
+	}
+	if db.Len() != n {
+		t.Fatalf("len = %d", db.Len())
+	}
+	if db.Flushes == 0 || db.Compactions == 0 {
+		t.Fatalf("expected flushes (%d) and compactions (%d)", db.Flushes, db.Compactions)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := db.Get(core.Key(i * 3))
+		if !ok || v != core.Value(i) {
+			t.Fatalf("Get(%d) = %d,%v", i*3, v, ok)
+		}
+		if _, ok := db.Get(core.Key(i*3 + 1)); ok {
+			t.Fatal("phantom")
+		}
+	}
+	// Level structure: L0 below trigger, deeper levels geometric.
+	runs := db.Runs()
+	if runs[0] >= db.cfg.L0Runs {
+		t.Fatalf("level 0 over trigger: %v", runs)
+	}
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	db := New(Config{MemtableCap: 64, L0Runs: 2})
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 500; i++ {
+			db.Put(core.Key(i), core.Value(round*1000+i))
+		}
+	}
+	if db.Len() != 500 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	for i := 0; i < 500; i++ {
+		v, ok := db.Get(core.Key(i))
+		if !ok || v != core.Value(4000+i) {
+			t.Fatalf("Get(%d) = %d,%v want %d", i, v, ok, 4000+i)
+		}
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	db := New(Config{MemtableCap: 128, L0Runs: 2})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		db.Put(core.Key(i), core.Value(i))
+	}
+	for i := 0; i < n; i += 2 {
+		if !db.Delete(core.Key(i)) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if db.Delete(0) {
+		t.Fatal("double delete")
+	}
+	if db.Delete(core.Key(9 * n)) {
+		t.Fatal("deleted absent key")
+	}
+	if db.Len() != n/2 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := db.Get(core.Key(i))
+		if ok != (i%2 == 1) {
+			t.Fatalf("Get(%d) = %v", i, ok)
+		}
+	}
+	// Re-insert deleted keys.
+	for i := 0; i < n; i += 2 {
+		db.Put(core.Key(i), core.Value(i+5))
+	}
+	if db.Len() != n {
+		t.Fatalf("len after reinsert = %d", db.Len())
+	}
+	if v, _ := db.Get(0); v != 5 {
+		t.Fatal("reinserted value wrong")
+	}
+}
+
+func TestRangeMergedView(t *testing.T) {
+	db := New(Config{MemtableCap: 100, L0Runs: 3})
+	keys, _ := dataset.Keys(dataset.Clustered, 8000, 2)
+	for i, k := range keys {
+		db.Put(k, dataset.PayloadFor(k))
+		if i%7 == 0 {
+			db.Delete(k)
+		}
+	}
+	// Expected live set.
+	live := map[core.Key]bool{}
+	for i, k := range keys {
+		live[k] = i%7 != 0
+	}
+	var prev core.Key
+	first := true
+	count := db.Range(0, ^core.Key(0), func(k core.Key, v core.Value) bool {
+		if !first && k <= prev {
+			t.Fatalf("range out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		if !live[k] {
+			t.Fatalf("deleted key %d in range", k)
+		}
+		if v != dataset.PayloadFor(k) {
+			t.Fatalf("wrong value for %d", k)
+		}
+		return true
+	})
+	want := 0
+	for _, ok := range live {
+		if ok {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("range = %d, want %d", count, want)
+	}
+	// Bounded range with early stop.
+	n := 0
+	db.Range(keys[100], keys[500], func(core.Key, core.Value) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop = %d", n)
+	}
+}
+
+func TestMatchesMapProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := New(Config{MemtableCap: 32, L0Runs: 2, LevelRatio: 4})
+		ref := map[core.Key]core.Value{}
+		for op := 0; op < 3000; op++ {
+			k := core.Key(r.Intn(800))
+			switch r.Intn(4) {
+			case 0, 1:
+				v := core.Value(r.Uint64())
+				db.Put(k, v)
+				ref[k] = v
+			case 2:
+				got := db.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			case 3:
+				v, ok := db.Get(k)
+				wv, wok := ref[k]
+				if ok != wok || (ok && v != wv) {
+					return false
+				}
+			}
+			if db.Len() != len(ref) {
+				return false
+			}
+		}
+		seen := 0
+		okAll := true
+		db.Range(0, ^core.Key(0), func(k core.Key, v core.Value) bool {
+			wv, wok := ref[k]
+			if !wok || wv != v {
+				okAll = false
+				return false
+			}
+			seen++
+			return true
+		})
+		return okAll && seen == len(ref)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelStatsAndFlushEmpty(t *testing.T) {
+	db := New(Config{})
+	db.Flush() // no-op on empty memtable
+	if db.Flushes != 0 {
+		t.Fatal("empty flush counted")
+	}
+	keys, _ := dataset.Keys(dataset.Lognormal, 20000, 4)
+	for _, k := range keys {
+		db.Put(k, 1)
+	}
+	db.Flush()
+	runs, segs, modelBytes := db.ModelStats()
+	if runs == 0 || segs == 0 || modelBytes == 0 {
+		t.Fatalf("model stats = %d,%d,%d", runs, segs, modelBytes)
+	}
+	st := db.Stats()
+	if st.Count != 20000 || st.IndexBytes != modelBytes || st.Height < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,376 @@
+// Package mlindex implements the ML-Index (Davitkova et al., EDBT 2020): an
+// iDistance-style projection — points are assigned to their nearest
+// reference point and keyed by partition offset plus distance to the
+// reference — with a learned one-dimensional index (a PGM-index) over the
+// projected keys. Point, range, and kNN queries translate to annulus scans
+// over the learned index.
+//
+// Taxonomy: immutable / pure / projected space (Approach 2).
+package mlindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/pgm"
+)
+
+// Config parameterizes a build.
+type Config struct {
+	// Refs is the number of reference points (0 scales with the data,
+	// clamped to [16, 128]).
+	Refs int
+	// Epsilon for the underlying PGM-index.
+	Epsilon int
+	// KMeansIters refines reference points with Lloyd iterations (0 -> 8).
+	KMeansIters int
+}
+
+// Index is an immutable ML-Index.
+type Index struct {
+	cfg  Config
+	dim  int
+	refs []core.Point
+	keys []core.Key // sorted projected keys, parallel to pts
+	pts  []core.PV
+	ix   *pgm.Index
+	// distScale converts distances to integer key offsets within a
+	// partition's 2^32 key band; it is sized to the data's bounding-box
+	// diagonal so the full distance range spreads over the band.
+	distScale float64
+	// per-partition max distance (for pruning)
+	maxDist []float64
+}
+
+// Build constructs an ML-Index over the points (copied and reordered).
+func Build(pvs []core.PV, cfg Config) (*Index, error) {
+	if len(pvs) == 0 {
+		return nil, fmt.Errorf("mlindex: empty input")
+	}
+	dim := pvs[0].Point.Dim()
+	for i := range pvs {
+		if pvs[i].Point.Dim() != dim {
+			return nil, fmt.Errorf("mlindex: point %d dim %d, want %d", i, pvs[i].Point.Dim(), dim)
+		}
+	}
+	if cfg.Refs <= 0 {
+		// Scale partitions with the data so annulus scans stay short; the
+		// ML-Index paper likewise uses dozens of reference points.
+		cfg.Refs = len(pvs) / 8192
+		if cfg.Refs < 16 {
+			cfg.Refs = 16
+		}
+		if cfg.Refs > 128 {
+			cfg.Refs = 128
+		}
+	}
+	if cfg.Refs > len(pvs) {
+		cfg.Refs = len(pvs)
+	}
+	if cfg.KMeansIters == 0 {
+		cfg.KMeansIters = 8
+	}
+	m := &Index{cfg: cfg, dim: dim}
+	m.refs = kmeans(pvs, cfg.Refs, cfg.KMeansIters)
+	// Scale: spread the largest possible distance (bounding-box diagonal)
+	// over the 32-bit offset band.
+	var diag float64
+	for d := 0; d < dim; d++ {
+		lo, hi := pvs[0].Point[d], pvs[0].Point[d]
+		for _, pv := range pvs {
+			if pv.Point[d] < lo {
+				lo = pv.Point[d]
+			}
+			if pv.Point[d] > hi {
+				hi = pv.Point[d]
+			}
+		}
+		diag += (hi - lo) * (hi - lo)
+	}
+	diag = math.Sqrt(diag)
+	if diag <= 0 {
+		diag = 1
+	}
+	m.distScale = float64(uint64(1)<<32-2) / diag
+	// Project and sort.
+	type proj struct {
+		key core.Key
+		pv  core.PV
+	}
+	ps := make([]proj, len(pvs))
+	m.maxDist = make([]float64, len(m.refs))
+	for i, pv := range pvs {
+		r, d := m.nearestRef(pv.Point)
+		if d > m.maxDist[r] {
+			m.maxDist[r] = d
+		}
+		ps[i] = proj{key: m.key(r, d), pv: pv}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].key < ps[j].key })
+	m.keys = make([]core.Key, len(ps))
+	m.pts = make([]core.PV, len(ps))
+	recs := make([]core.KV, len(ps))
+	for i, p := range ps {
+		m.keys[i] = p.key
+		m.pts[i] = p.pv
+		recs[i] = core.KV{Key: p.key, Value: core.Value(i)}
+	}
+	var err error
+	m.ix, err = pgm.Build(recs, cfg.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// kmeans runs a few Lloyd iterations seeded by evenly spaced data points.
+func kmeans(pvs []core.PV, k, iters int) []core.Point {
+	refs := make([]core.Point, k)
+	for i := range refs {
+		refs[i] = pvs[i*len(pvs)/k].Point.Clone()
+	}
+	dim := pvs[0].Point.Dim()
+	for it := 0; it < iters; it++ {
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for _, pv := range pvs {
+			best, bd := 0, math.Inf(1)
+			for r := range refs {
+				if d := pv.Point.DistSq(refs[r]); d < bd {
+					best, bd = r, d
+				}
+			}
+			counts[best]++
+			for d := 0; d < dim; d++ {
+				sums[best][d] += pv.Point[d]
+			}
+		}
+		for r := range refs {
+			if counts[r] == 0 {
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				refs[r][d] = sums[r][d] / float64(counts[r])
+			}
+		}
+	}
+	return refs
+}
+
+func (m *Index) nearestRef(p core.Point) (int, float64) {
+	best, bd := 0, math.Inf(1)
+	for r := range m.refs {
+		if d := p.DistSq(m.refs[r]); d < bd {
+			best, bd = r, d
+		}
+	}
+	return best, math.Sqrt(bd)
+}
+
+// key maps (partition, distance) to the projected 1-D key.
+func (m *Index) key(ref int, dist float64) core.Key {
+	off := core.Key(dist * m.distScale)
+	if off >= 1<<32 {
+		off = 1<<32 - 1
+	}
+	return core.Key(ref)<<32 | off
+}
+
+// Len returns the number of points.
+func (m *Index) Len() int { return len(m.pts) }
+
+// Refs returns the reference points (read-only).
+func (m *Index) Refs() []core.Point { return m.refs }
+
+// Lookup returns the value of the point equal to p.
+func (m *Index) Lookup(p core.Point) (core.Value, bool) {
+	if p.Dim() != m.dim {
+		return 0, false
+	}
+	r, d := m.nearestRef(p)
+	k := m.key(r, d)
+	// distScale quantization: scan the key and its neighbor.
+	for _, probe := range []core.Key{k - 1, k, k + 1} {
+		i := m.ix.LowerBound(probe)
+		for ; i < len(m.keys) && m.keys[i] == probe; i++ {
+			if m.pts[i].Point.Equal(p) {
+				return m.pts[i].Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// scanAnnulus visits stored points of partition r with distance in
+// [dLo, dHi], calling fn; fn returning false stops the scan. Returns false
+// if stopped.
+func (m *Index) scanAnnulus(r int, dLo, dHi float64, fn func(core.PV) bool) (int, bool) {
+	if dLo < 0 {
+		dLo = 0
+	}
+	lo := m.key(r, dLo)
+	if lo > core.Key(r)<<32 {
+		lo-- // quantization slack, kept within partition r
+	}
+	hi := m.key(r, dHi)
+	if hi < core.Key(r)<<32|(1<<32-1) {
+		hi++ // quantization slack, kept within partition r
+	}
+	i := m.ix.LowerBound(lo)
+	visited := 0
+	for ; i < len(m.keys) && m.keys[i] <= hi; i++ {
+		visited++
+		if !fn(m.pts[i]) {
+			return visited, false
+		}
+	}
+	return visited, true
+}
+
+// Search calls fn for every point in rect; fn returning false stops.
+// Returns points visited and candidate points scanned (the I/O proxy).
+func (m *Index) Search(rect core.Rect, fn func(core.PV) bool) (visited, scanned int) {
+	if rect.Dim() != m.dim {
+		return 0, 0
+	}
+	for r := range m.refs {
+		// Distance band of the rect seen from ref r.
+		dLo := math.Sqrt(rect.MinDistSq(m.refs[r]))
+		dHi := maxDistToRect(m.refs[r], rect)
+		if dLo > m.maxDist[r] {
+			continue
+		}
+		if dHi > m.maxDist[r] {
+			dHi = m.maxDist[r]
+		}
+		n, cont := m.scanAnnulus(r, dLo, dHi, func(pv core.PV) bool {
+			if rect.Contains(pv.Point) {
+				visited++
+				return fn(pv)
+			}
+			return true
+		})
+		scanned += n
+		if !cont {
+			return visited, scanned
+		}
+	}
+	return visited, scanned
+}
+
+// maxDistToRect returns the maximum distance from p to any corner of rect.
+func maxDistToRect(p core.Point, rect core.Rect) float64 {
+	var s float64
+	for d := range p {
+		a := math.Abs(p[d] - rect.Min[d])
+		if b := math.Abs(p[d] - rect.Max[d]); b > a {
+			a = b
+		}
+		s += a * a
+	}
+	return math.Sqrt(s)
+}
+
+// KNN returns the k nearest points to q in ascending distance order using
+// the iDistance expanding-annulus algorithm.
+func (m *Index) KNN(q core.Point, k int) []core.PV {
+	if k <= 0 || q.Dim() != m.dim || len(m.pts) == 0 {
+		return nil
+	}
+	if k > len(m.pts) {
+		k = len(m.pts)
+	}
+	qDist := make([]float64, len(m.refs))
+	for r := range m.refs {
+		qDist[r] = q.Dist(m.refs[r])
+	}
+	// Expanding radius search.
+	radius := m.initialRadius()
+	var result []core.PV
+	for {
+		type cand struct {
+			pv core.PV
+			d2 float64
+		}
+		var cands []cand
+		for r := range m.refs {
+			// Points of partition r within radius of q lie in the annulus
+			// [qDist-radius, qDist+radius] around ref r.
+			dLo := qDist[r] - radius
+			dHi := qDist[r] + radius
+			if dLo > m.maxDist[r] {
+				continue
+			}
+			m.scanAnnulus(r, dLo, dHi, func(pv core.PV) bool {
+				cands = append(cands, cand{pv, q.DistSq(pv.Point)})
+				return true
+			})
+		}
+		if len(cands) >= k {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].d2 < cands[j].d2 })
+			if cands[k-1].d2 <= radius*radius {
+				result = make([]core.PV, k)
+				for i := 0; i < k; i++ {
+					result[i] = cands[i].pv
+				}
+				return result
+			}
+		}
+		radius *= 2
+		if radius > 4*m.worstSpan() {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].d2 < cands[j].d2 })
+			if len(cands) > k {
+				cands = cands[:k]
+			}
+			result = make([]core.PV, len(cands))
+			for i := range cands {
+				result[i] = cands[i].pv
+			}
+			return result
+		}
+	}
+}
+
+func (m *Index) initialRadius() float64 {
+	// A small fraction of the mean partition radius.
+	var s float64
+	for _, d := range m.maxDist {
+		s += d
+	}
+	r := s / float64(len(m.maxDist)) * 0.05
+	if r <= 0 {
+		r = 1
+	}
+	return r
+}
+
+func (m *Index) worstSpan() float64 {
+	w := 0.0
+	for _, d := range m.maxDist {
+		if d > w {
+			w = d
+		}
+	}
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+// Stats reports structure statistics.
+func (m *Index) Stats() core.Stats {
+	st := m.ix.Stats()
+	return core.Stats{
+		Name:       "mlindex",
+		Count:      len(m.pts),
+		IndexBytes: st.IndexBytes + 8*len(m.keys) + len(m.refs)*8*m.dim,
+		DataBytes:  len(m.pts) * (8*m.dim + 8),
+		Height:     st.Height,
+		Models:     st.Models + len(m.refs),
+	}
+}

@@ -1,0 +1,43 @@
+package pgm
+
+import (
+	"testing"
+
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func BenchmarkStaticGet(b *testing.B) {
+	keys, _ := dataset.Keys(dataset.Lognormal, 1<<20, 1)
+	ix, err := Build(dataset.KV(keys), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := dataset.LookupMix(keys, 1<<16, 0.9, 2)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := ix.Get(probes[i&(1<<16-1)])
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkBuild(b *testing.B) {
+	keys, _ := dataset.Keys(dataset.Lognormal, 1<<18, 1)
+	recs := dataset.KV(keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(recs, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicInsert(b *testing.B) {
+	keys, _ := dataset.Keys(dataset.Uniform, 1<<18, 3)
+	d := NewDynamic(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Insert(keys[i&(1<<18-1)], 1)
+	}
+}

@@ -1,0 +1,623 @@
+// Package pgm implements the PGM-index of Ferragina and Vinciguerra
+// ("The PGM-index: a fully-dynamic compressed learned index with provable
+// worst-case bounds", PVLDB 2020): a recursive hierarchy of ε-bounded
+// piecewise linear models, plus the fully dynamic variant based on the
+// logarithmic method (an LSM of static PGM-indexes with delta buffering —
+// taxonomy: mutable / pure / delta buffer / fixed layout).
+//
+// Unlike the RMI, every level of the PGM carries a provable error bound ε:
+// a lookup does O(log_ε n) model evaluations, each followed by a binary
+// search over at most 2ε+3 elements — the worst case holds for adversarial
+// key sets too (paper §6.7).
+package pgm
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/segment"
+)
+
+// DefaultEpsilon is the default per-level error bound.
+const DefaultEpsilon = 32
+
+// level is one layer of the recursive PLA hierarchy.
+type level struct {
+	segs      []segment.Segment
+	firstKeys []float64 // FirstKey of each segment, for windowed search
+}
+
+// Index is a static PGM-index over a sorted record array.
+type Index struct {
+	recs []core.KV
+	keys []core.Key
+
+	// distinct/firstPos are only materialized when duplicate keys (or
+	// distinct keys colliding at float64 resolution) exist; for the common
+	// collision-free case the search runs on the key array directly and
+	// the index stores nothing but the PLA levels.
+	distinct []float64 // deduped key values as floats (nil if collision-free)
+	firstPos []int32   // first occurrence of distinct[i] in keys
+	nd       int       // number of distinct float values
+
+	levels []level // levels[0] predicts into distinct space; higher predict lower
+	eps    int
+	n      int
+}
+
+// Build constructs a PGM-index over recs (sorted ascending by key) with the
+// given error bound (0 selects DefaultEpsilon). recs is retained.
+func Build(recs []core.KV, eps int) (*Index, error) {
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	n := len(recs)
+	for i := 1; i < n; i++ {
+		if recs[i].Key < recs[i-1].Key {
+			return nil, fmt.Errorf("pgm: input not sorted at %d", i)
+		}
+	}
+	ix := &Index{recs: recs, eps: eps, n: n}
+	ix.keys = make([]core.Key, n)
+	for i := range recs {
+		ix.keys[i] = recs[i].Key
+	}
+	if n == 0 {
+		return ix, nil
+	}
+	// Dedup at float64 resolution: duplicate keys, and distinct keys that
+	// collide when converted to float64, collapse to their first position.
+	distinct := make([]float64, 0, n)
+	firstPos := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		x := float64(ix.keys[i])
+		if len(distinct) > 0 && x == distinct[len(distinct)-1] {
+			continue
+		}
+		distinct = append(distinct, x)
+		firstPos = append(firstPos, int32(i))
+	}
+	ix.nd = len(distinct)
+	if ix.nd < n {
+		// Collisions exist: keep the dedup arrays for exact resolution.
+		ix.distinct = distinct
+		ix.firstPos = firstPos
+	}
+
+	// Level 0: PLA over (distinct key -> distinct index).
+	ys := segment.Positions(len(distinct))
+	segs := segment.BuildOptimal(distinct, ys, float64(eps))
+	ix.levels = append(ix.levels, newLevel(segs))
+	// Recursive levels over segment first keys until a single segment.
+	for len(ix.levels[len(ix.levels)-1].segs) > 1 {
+		prev := ix.levels[len(ix.levels)-1]
+		xs := prev.firstKeys
+		segs := segment.BuildOptimal(xs, segment.Positions(len(xs)), float64(eps))
+		ix.levels = append(ix.levels, newLevel(segs))
+		if len(segs) >= len(xs) {
+			// No compression: stop to guarantee termination (degenerate
+			// data); the top level is then searched in full.
+			break
+		}
+	}
+	return ix, nil
+}
+
+func newLevel(segs []segment.Segment) level {
+	fk := make([]float64, len(segs))
+	for i := range segs {
+		fk[i] = segs[i].FirstKey
+	}
+	return level{segs: segs, firstKeys: fk}
+}
+
+// Epsilon returns the error bound.
+func (ix *Index) Epsilon() int { return ix.eps }
+
+// Len returns the number of records.
+func (ix *Index) Len() int { return ix.n }
+
+// Levels returns the number of PLA levels.
+func (ix *Index) Levels() int { return len(ix.levels) }
+
+// SegmentCount returns the number of level-0 segments.
+func (ix *Index) SegmentCount() int {
+	if len(ix.levels) == 0 {
+		return 0
+	}
+	return len(ix.levels[0].segs)
+}
+
+// segUpperBound returns the last index j in fk[lo:hi) (clamped) with
+// fk[j] <= x, or lo if none.
+func segUpperBound(fk []float64, x float64, lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > len(fk) {
+		lo = len(fk)
+	}
+	if hi > len(fk) {
+		hi = len(fk)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if fk[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// locate returns the level-0 segment index covering key x by descending the
+// hierarchy with ε-bounded windowed searches.
+func (ix *Index) locate(x float64) int {
+	top := len(ix.levels) - 1
+	// Top level: search among all segments (there is 1, or few in the
+	// degenerate no-compression case).
+	si := segUpperBound(ix.levels[top].firstKeys, x, 0, len(ix.levels[top].segs))
+	for l := top; l > 0; l-- {
+		s := &ix.levels[l].segs[si]
+		if x > s.LastKey {
+			// x lies in the key gap between this segment and the next one
+			// at this level, so the answer below is exactly the last entry
+			// this segment covers; the model must not extrapolate.
+			si = s.EndIdx - 1
+			continue
+		}
+		pred := int(math.Round(s.Predict(x)))
+		lo := pred - ix.eps - 1
+		hi := pred + ix.eps + 2
+		if lo < s.StartIdx {
+			lo = s.StartIdx
+		}
+		if hi > s.EndIdx {
+			hi = s.EndIdx
+		}
+		si = segUpperBound(ix.levels[l-1].firstKeys, x, lo, hi)
+	}
+	return si
+}
+
+// LowerBound returns the smallest position i in the record array with
+// keys[i] >= k.
+func (ix *Index) LowerBound(k core.Key) int {
+	if ix.n == 0 {
+		return 0
+	}
+	x := float64(k)
+	si := ix.locate(x)
+	s := &ix.levels[0].segs[si]
+	var d int
+	if x > s.LastKey {
+		// In the gap after this segment: the lower bound is the first
+		// distinct key of the next segment (or the end of the array).
+		d = s.EndIdx
+	} else {
+		pred := int(math.Round(s.Predict(x)))
+		lo := pred - ix.eps - 1
+		hi := pred + ix.eps + 2
+		if lo < s.StartIdx {
+			lo = s.StartIdx
+		}
+		if hi > s.EndIdx {
+			hi = s.EndIdx
+		}
+		// Binary search over distinct floats for the first >= x.
+		d = lo
+		for l, h := lo, hi; l < h; {
+			mid := int(uint(l+h) >> 1)
+			if ix.distinctAt(mid) < x {
+				l = mid + 1
+				d = l
+			} else {
+				h = mid
+				d = h
+			}
+		}
+	}
+	if d >= ix.nd {
+		return ix.n
+	}
+	if ix.distinct == nil {
+		// Collision-free: distinct space is the key array itself, and the
+		// float search already honored the exact integer order except for
+		// probe keys that collide with a stored key in float64; one exact
+		// comparison fixes that.
+		if ix.keys[d] < k {
+			return d + 1
+		}
+		return d
+	}
+	pos := int(ix.firstPos[d])
+	// Float collision may have collapsed a short run of distinct integer
+	// keys: resolve exactly on the integer array.
+	end := ix.n
+	if d+1 < ix.nd {
+		end = int(ix.firstPos[d+1])
+	}
+	return core.SearchRange(ix.keys, k, pos, end)
+}
+
+// distinctAt returns the i-th distinct float key.
+func (ix *Index) distinctAt(i int) float64 {
+	if ix.distinct == nil {
+		return float64(ix.keys[i])
+	}
+	return ix.distinct[i]
+}
+
+// Get returns the value stored for k.
+func (ix *Index) Get(k core.Key) (core.Value, bool) {
+	i := ix.LowerBound(k)
+	if i < ix.n && ix.keys[i] == k {
+		return ix.recs[i].Value, true
+	}
+	return 0, false
+}
+
+// Range calls fn for records with lo <= key <= hi ascending; fn returning
+// false stops. Returns records visited.
+func (ix *Index) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	i := ix.LowerBound(lo)
+	count := 0
+	for ; i < ix.n && ix.keys[i] <= hi; i++ {
+		count++
+		if !fn(ix.keys[i], ix.recs[i].Value) {
+			break
+		}
+	}
+	return count
+}
+
+// Stats reports structure statistics. IndexBytes counts the PLA levels and
+// the dedup arrays.
+func (ix *Index) Stats() core.Stats {
+	segs := 0
+	for _, l := range ix.levels {
+		segs += len(l.segs)
+	}
+	return core.Stats{
+		Name:       "pgm",
+		Count:      ix.n,
+		IndexBytes: segs*(segment.SegmentBytes+8) + 12*len(ix.distinct),
+		DataBytes:  16 * ix.n,
+		Height:     len(ix.levels),
+		Models:     segs,
+	}
+}
+
+// ModelBytes returns the bytes of PLA models only (excluding the dedup
+// arrays), the figure comparable to the paper's index-size plots.
+func (ix *Index) ModelBytes() int {
+	segs := 0
+	for _, l := range ix.levels {
+		segs += len(l.segs)
+	}
+	return segs * (segment.SegmentBytes + 8)
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic PGM (logarithmic method)
+// ---------------------------------------------------------------------------
+
+// Dynamic is the fully-dynamic PGM-index: a small sorted insertion buffer
+// plus a sequence of static PGM levels of geometrically increasing size,
+// merged LSM-style. Deletes insert tombstones that are purged when they
+// reach the last occupied level.
+type Dynamic struct {
+	eps     int
+	bufCap  int
+	buf     []dynRec // sorted by key; newest wins on duplicate insert
+	levels  []*Index // levels[i] holds ~bufCap*2^i records, nil if empty
+	tombs   []map[core.Key]bool
+	liveCnt int
+}
+
+type dynRec struct {
+	key  core.Key
+	val  core.Value
+	dead bool
+}
+
+// NewDynamic returns an empty dynamic PGM with the given error bound and
+// insertion buffer capacity (0 selects 256).
+func NewDynamic(eps, bufCap int) *Dynamic {
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	if bufCap <= 0 {
+		bufCap = 256
+	}
+	return &Dynamic{eps: eps, bufCap: bufCap}
+}
+
+// Len returns the number of live records.
+func (d *Dynamic) Len() int { return d.liveCnt }
+
+// bufFind returns the buffer index of k and whether it is present.
+func (d *Dynamic) bufFind(k core.Key) (int, bool) {
+	lo, hi := 0, len(d.buf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.buf[mid].key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(d.buf) && d.buf[lo].key == k
+}
+
+// Insert upserts (k, v).
+func (d *Dynamic) Insert(k core.Key, v core.Value) {
+	d.put(dynRec{key: k, val: v})
+}
+
+// Delete removes k (logically). Returns true if k was live before.
+func (d *Dynamic) Delete(k core.Key) bool {
+	_, was := d.Get(k)
+	if !was {
+		return false
+	}
+	d.put(dynRec{key: k, dead: true})
+	return true
+}
+
+func (d *Dynamic) put(r dynRec) {
+	i, found := d.bufFind(r.key)
+	var wasLive bool
+	if found {
+		wasLive = !d.buf[i].dead
+		d.buf[i] = r
+	} else {
+		_, wasLive = d.getLevels(r.key)
+		d.buf = append(d.buf, dynRec{})
+		copy(d.buf[i+1:], d.buf[i:])
+		d.buf[i] = r
+	}
+	nowLive := !r.dead
+	switch {
+	case wasLive && !nowLive:
+		d.liveCnt--
+	case !wasLive && nowLive:
+		d.liveCnt++
+	}
+	if len(d.buf) >= d.bufCap {
+		d.flush()
+	}
+}
+
+// flush merges the buffer and all levels up to the first empty slot into a
+// single static PGM at that slot (the logarithmic method).
+func (d *Dynamic) flush() {
+	runs := [][]dynRec{d.buf}
+	slot := 0
+	for ; slot < len(d.levels); slot++ {
+		if d.levels[slot] == nil {
+			break
+		}
+		runs = append(runs, levelRecs(d.levels[slot], d.tombs[slot]))
+		d.levels[slot] = nil
+		d.tombs[slot] = nil
+	}
+	lastOccupied := true
+	for s := slot + 1; s < len(d.levels); s++ {
+		if d.levels[s] != nil {
+			lastOccupied = false
+			break
+		}
+	}
+	merged := mergeRuns(runs, lastOccupied)
+	recs := make([]core.KV, len(merged))
+	for i, r := range merged {
+		recs[i] = core.KV{Key: r.key, Value: r.val}
+	}
+	ix, err := Build(recs, d.eps)
+	if err != nil {
+		// Inputs are sorted by construction; Build cannot fail.
+		panic(err)
+	}
+	tmb := map[core.Key]bool{}
+	for _, r := range merged {
+		if r.dead {
+			tmb[r.key] = true
+		}
+	}
+	for slot >= len(d.levels) {
+		d.levels = append(d.levels, nil)
+		d.tombs = append(d.tombs, nil)
+	}
+	d.levels[slot] = ix
+	d.tombs[slot] = tmb
+	d.buf = d.buf[:0]
+}
+
+// levelRecs extracts a level's records with their tombstone flags.
+func levelRecs(ix *Index, tombs map[core.Key]bool) []dynRec {
+	out := make([]dynRec, ix.n)
+	for i := range ix.recs {
+		out[i] = dynRec{key: ix.recs[i].Key, val: ix.recs[i].Value, dead: tombs[ix.recs[i].Key]}
+	}
+	return out
+}
+
+// mergeRuns merges runs (runs[0] newest) into one sorted run; newer
+// occurrences shadow older ones. Tombstones are dropped when dropDead.
+func mergeRuns(runs [][]dynRec, dropDead bool) []dynRec {
+	type cursor struct {
+		run []dynRec
+		pos int
+	}
+	cs := make([]cursor, len(runs))
+	total := 0
+	for i, r := range runs {
+		cs[i] = cursor{run: r}
+		total += len(r)
+	}
+	out := make([]dynRec, 0, total)
+	for {
+		// Find the smallest current key; prefer the newest run on ties.
+		best := -1
+		var bk core.Key
+		for i := range cs {
+			if cs[i].pos >= len(cs[i].run) {
+				continue
+			}
+			k := cs[i].run[cs[i].pos].key
+			if best == -1 || k < bk {
+				best, bk = i, k
+			}
+		}
+		if best == -1 {
+			break
+		}
+		rec := cs[best].run[cs[best].pos]
+		// Advance every run past this key (older duplicates are shadowed).
+		for i := range cs {
+			for cs[i].pos < len(cs[i].run) && cs[i].run[cs[i].pos].key == bk {
+				cs[i].pos++
+			}
+		}
+		if rec.dead && dropDead {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// getLevels looks k up in the static levels only (newest first).
+func (d *Dynamic) getLevels(k core.Key) (core.Value, bool) {
+	for i := 0; i < len(d.levels); i++ {
+		ix := d.levels[i]
+		if ix == nil {
+			continue
+		}
+		if v, ok := ix.Get(k); ok {
+			if d.tombs[i][k] {
+				return 0, false
+			}
+			return v, true
+		}
+		// A tombstone for k may exist without a live record in this level.
+		if d.tombs[i][k] {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Get returns the live value for k.
+func (d *Dynamic) Get(k core.Key) (core.Value, bool) {
+	if i, ok := d.bufFind(k); ok {
+		if d.buf[i].dead {
+			return 0, false
+		}
+		return d.buf[i].val, true
+	}
+	return d.getLevels(k)
+}
+
+// Range calls fn for live records with lo <= key <= hi ascending; fn
+// returning false stops. Returns records visited.
+func (d *Dynamic) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	// Merge buffer + levels on the fly.
+	type src struct {
+		recs  []dynRec
+		pos   int
+		level int // -1 for buffer (newest)
+	}
+	var srcs []src
+	bi, _ := d.bufFind(lo)
+	srcs = append(srcs, src{recs: d.buf, pos: bi, level: -1})
+	for li, ix := range d.levels {
+		if ix == nil {
+			continue
+		}
+		start := ix.LowerBound(lo)
+		rs := make([]dynRec, 0)
+		for i := start; i < ix.n && ix.keys[i] <= hi; i++ {
+			dead := d.tombs[li][ix.keys[i]]
+			rs = append(rs, dynRec{key: ix.keys[i], val: ix.recs[i].Value, dead: dead})
+		}
+		srcs = append(srcs, src{recs: rs, level: li})
+	}
+	count := 0
+	for {
+		best := -1
+		var bk core.Key
+		for i := range srcs {
+			s := &srcs[i]
+			for s.pos < len(s.recs) && s.recs[s.pos].key < lo {
+				s.pos++
+			}
+			if s.pos >= len(s.recs) || s.recs[s.pos].key > hi {
+				continue
+			}
+			k := s.recs[s.pos].key
+			if best == -1 || k < bk {
+				best, bk = i, k
+			}
+		}
+		if best == -1 {
+			break
+		}
+		rec := srcs[best].recs[srcs[best].pos]
+		for i := range srcs {
+			s := &srcs[i]
+			for s.pos < len(s.recs) && s.recs[s.pos].key == bk {
+				s.pos++
+			}
+		}
+		if rec.dead {
+			continue
+		}
+		count++
+		if !fn(rec.key, rec.val) {
+			break
+		}
+	}
+	return count
+}
+
+// Stats aggregates statistics across levels.
+func (d *Dynamic) Stats() core.Stats {
+	st := core.Stats{Name: "pgm-dynamic", Count: d.liveCnt}
+	st.IndexBytes += 17 * len(d.buf)
+	for _, ix := range d.levels {
+		if ix == nil {
+			continue
+		}
+		s := ix.Stats()
+		st.IndexBytes += s.IndexBytes
+		st.DataBytes += s.DataBytes
+		st.Models += s.Models
+		if s.Height > st.Height {
+			st.Height = s.Height
+		}
+	}
+	return st
+}
+
+// LevelSizes returns the record count of each occupied level (diagnostics).
+func (d *Dynamic) LevelSizes() []int {
+	var out []int
+	for _, ix := range d.levels {
+		if ix == nil {
+			out = append(out, 0)
+		} else {
+			out = append(out, ix.n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package qdtree
+
+import (
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func bruteCount(pvs []core.PV, rect core.Rect) int {
+	n := 0
+	for _, pv := range pvs {
+		if rect.Contains(pv.Point) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSearchMatchesBrute(t *testing.T) {
+	for _, kind := range dataset.SpatialKinds() {
+		pts, _ := dataset.Points(kind, 6000, 2, 1401)
+		pvs := dataset.PV(pts)
+		queries := dataset.RectQueries(pts, 30, 0.005, 1402)
+		ix, err := Build(pvs, queries, Config{MinBlock: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both training and fresh queries must be exact.
+		fresh := dataset.RectQueries(pts, 20, 0.01, 1403)
+		for qi, q := range append(queries, fresh...) {
+			want := bruteCount(pvs, q)
+			got, blocks, scanned := ix.Search(q, func(core.PV) bool { return true })
+			if got != want {
+				t.Fatalf("%s q%d: got %d, want %d", kind, qi, got, want)
+			}
+			if blocks <= 0 || scanned < got {
+				t.Fatalf("%s q%d: blocks=%d scanned=%d", kind, qi, blocks, scanned)
+			}
+		}
+	}
+}
+
+func TestWorkloadLayoutSkipsBlocks(t *testing.T) {
+	// Workload-aware layout should scan far fewer records than one block.
+	pts, _ := dataset.Points(dataset.SOSMLike, 20000, 2, 1404)
+	pvs := dataset.PV(pts)
+	queries := dataset.RectQueries(pts, 50, 0.001, 1405)
+	ix, err := Build(pvs, queries, Config{MinBlock: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Blocks() < 4 {
+		t.Fatalf("only %d blocks", ix.Blocks())
+	}
+	var scannedTotal int
+	for _, q := range queries {
+		_, _, scanned := ix.Search(q, func(core.PV) bool { return true })
+		scannedTotal += scanned
+	}
+	fullScan := len(queries) * len(pvs)
+	if scannedTotal*4 > fullScan {
+		t.Fatalf("layout skipped too little: scanned %d of %d", scannedTotal, fullScan)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 3000, 3, 1406)
+	pvs := dataset.PV(pts)
+	queries := dataset.RectQueries(pts, 20, 0.01, 1407)
+	ix, _ := Build(pvs, queries, Config{})
+	for i, pv := range pvs {
+		v, ok := ix.Lookup(pv.Point)
+		if !ok {
+			t.Fatalf("Lookup miss at %d", i)
+		}
+		if !pvs[v].Point.Equal(pv.Point) {
+			t.Fatal("wrong value")
+		}
+	}
+	if _, ok := ix.Lookup(core.Point{-1, -1, -1}); ok {
+		t.Fatal("phantom")
+	}
+}
+
+func TestNoQueriesSingleBlock(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 2000, 2, 1408)
+	ix, err := Build(dataset.PV(pts), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Blocks() != 1 {
+		t.Fatalf("blocks = %d without workload", ix.Blocks())
+	}
+	rect, _ := core.NewRect(core.Point{0, 0}, core.Point{dataset.Extent, dataset.Extent})
+	n, _, _ := ix.Search(rect, func(core.PV) bool { return true })
+	if n != 2000 {
+		t.Fatalf("full scan = %d", n)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Build(nil, nil, Config{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+	pts, _ := dataset.Points(dataset.SUniform, 100, 2, 1)
+	pvs := dataset.PV(pts)
+	if _, err := Build([]core.PV{{Point: core.Point{1}}, {Point: core.Point{1, 2}}}, nil, Config{}); err == nil {
+		t.Fatal("mixed dims accepted")
+	}
+	badQ := []core.Rect{{Min: core.Point{0}, Max: core.Point{1}}}
+	if _, err := Build(pvs, badQ, Config{}); err == nil {
+		t.Fatal("mismatched query dim accepted")
+	}
+}
+
+func TestStatsAndEarlyStop(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 5000, 2, 1409)
+	queries := dataset.RectQueries(pts, 30, 0.005, 1410)
+	ix, _ := Build(dataset.PV(pts), queries, Config{MinBlock: 256})
+	st := ix.Stats()
+	if st.Count != 5000 || st.Models < 1 || st.Height < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	all, _ := core.NewRect(core.Point{0, 0}, core.Point{dataset.Extent, dataset.Extent})
+	count := 0
+	ix.Search(all, func(core.PV) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop = %d", count)
+	}
+}

@@ -1,0 +1,152 @@
+package quadtree
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func worldBounds() core.Rect {
+	return core.Rect{Min: core.Point{0, 0}, Max: core.Point{dataset.Extent, dataset.Extent}}
+}
+
+func buildTree(t *testing.T, pts []core.Point, cap int) (*Tree, []core.PV) {
+	t.Helper()
+	tr, err := New(worldBounds(), cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvs := dataset.PV(pts)
+	for _, pv := range pvs {
+		if err := tr.Insert(pv.Point, pv.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, pvs
+}
+
+func TestSearchMatchesBrute(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SOSMLike, 4000, 2, 61)
+	tr, pvs := buildTree(t, pts, 16)
+	if tr.Len() != 4000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for qi, q := range dataset.RectQueries(pts, 40, 0.01, 62) {
+		want := 0
+		for _, pv := range pvs {
+			if q.Contains(pv.Point) {
+				want++
+			}
+		}
+		n, nodes := tr.Search(q, func(core.PV) bool { return true })
+		if n != want {
+			t.Fatalf("q%d: got %d, want %d", qi, n, want)
+		}
+		if nodes <= 0 {
+			t.Fatal("no nodes")
+		}
+	}
+}
+
+func TestKNNMatchesBrute(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SSkewed, 2000, 2, 63)
+	tr, pvs := buildTree(t, pts, 8)
+	for _, k := range []int{1, 7, 64} {
+		for qi, q := range dataset.KNNQueries(pts, 15, 64) {
+			ds := make([]float64, len(pvs))
+			for i, pv := range pvs {
+				ds[i] = q.DistSq(pv.Point)
+			}
+			sort.Float64s(ds)
+			got := tr.KNN(q, k)
+			if len(got) != k {
+				t.Fatalf("q%d k=%d: len %d", qi, k, len(got))
+			}
+			for i, pv := range got {
+				if d := q.DistSq(pv.Point); d != ds[i] {
+					t.Fatalf("q%d k=%d i=%d: %g want %g", qi, k, i, d, ds[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 1000, 2, 65)
+	tr, pvs := buildTree(t, pts, 8)
+	for i := 0; i < 500; i++ {
+		if !tr.Delete(pvs[i].Point, pvs[i].Value) {
+			t.Fatalf("Delete %d missed", i)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.Delete(pvs[0].Point, pvs[0].Value) {
+		t.Fatal("double delete succeeded")
+	}
+	n, _ := tr.Search(worldBounds(), func(core.PV) bool { return true })
+	if n != 500 {
+		t.Fatalf("scan found %d", n)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(core.Rect{Min: core.Point{0}, Max: core.Point{1}}, 4); err == nil {
+		t.Fatal("1-D bounds accepted")
+	}
+	tr, _ := New(worldBounds(), 0) // capacity clamped to default
+	if err := tr.Insert(core.Point{-5, 0}, 0); err == nil {
+		t.Fatal("out-of-bounds point accepted")
+	}
+	if err := tr.Insert(core.Point{1, 2, 3}, 0); err == nil {
+		t.Fatal("3-D point accepted")
+	}
+	if tr.Delete(core.Point{-5, 0}, 0) {
+		t.Fatal("out-of-bounds delete succeeded")
+	}
+	if got := tr.KNN(core.Point{1, 1}, 3); got != nil {
+		t.Fatal("kNN on empty")
+	}
+}
+
+func TestDegenerateAllSamePoint(t *testing.T) {
+	tr, _ := New(worldBounds(), 4)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(core.Point{100, 100}, core.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 200 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	rect, _ := core.NewRect(core.Point{99, 99}, core.Point{101, 101})
+	n, _ := tr.Search(rect, func(core.PV) bool { return true })
+	if n != 200 {
+		t.Fatalf("found %d of 200 identical points", n)
+	}
+	if h := tr.Height(); h > 33 {
+		t.Fatalf("depth cap failed: height %d", h)
+	}
+}
+
+func TestStats(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 1000, 2, 67)
+	tr, _ := buildTree(t, pts, 16)
+	st := tr.Stats()
+	if st.Count != 1000 || st.Height < 2 || st.Models < 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 300, 2, 68)
+	tr, _ := buildTree(t, pts, 16)
+	count := 0
+	tr.Search(worldBounds(), func(core.PV) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}

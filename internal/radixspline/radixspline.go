@@ -1,0 +1,253 @@
+// Package radixspline implements RadixSpline (Kipf et al., aiDM 2020): a
+// single-pass learned index consisting of an ε-bounded linear spline over
+// the key→position CDF plus a radix table over key prefixes that narrows
+// the spline-segment search to a handful of candidates.
+//
+// Taxonomy: immutable / pure / fixed layout. Compared with the RMI it
+// builds in one pass with a hard error bound; compared with the PGM it
+// replaces the recursive model hierarchy with a flat radix lookup.
+package radixspline
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/segment"
+)
+
+// DefaultEpsilon is the default spline error bound.
+const DefaultEpsilon = 32
+
+// DefaultRadixBits is the default radix table width.
+const DefaultRadixBits = 18
+
+// Index is an immutable RadixSpline over a sorted record array.
+type Index struct {
+	recs []core.KV
+	keys []core.Key
+
+	// distinct/firstPos are only materialized when duplicate keys or
+	// float64 collisions exist (see pgm for the same technique).
+	distinct []float64
+	firstPos []int32
+	nd       int
+
+	segs      []segment.Segment
+	firstKeys []float64
+
+	eps   int
+	shift uint
+	minK  core.Key
+	table []int32 // table[p] = first segment with radix(FirstKey) >= p
+	n     int
+}
+
+// Build constructs a RadixSpline over recs (sorted ascending) with the
+// given error bound and radix width (0 selects the defaults). recs is
+// retained.
+func Build(recs []core.KV, eps, radixBits int) (*Index, error) {
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	if radixBits <= 0 {
+		// Scale the table with the data: ~one slot per record, capped.
+		radixBits = bits.Len(uint(len(recs)))
+		if radixBits > DefaultRadixBits {
+			radixBits = DefaultRadixBits
+		}
+		if radixBits < 8 {
+			radixBits = 8
+		}
+	}
+	if radixBits > 28 {
+		radixBits = 28
+	}
+	n := len(recs)
+	for i := 1; i < n; i++ {
+		if recs[i].Key < recs[i-1].Key {
+			return nil, fmt.Errorf("radixspline: input not sorted at %d", i)
+		}
+	}
+	ix := &Index{recs: recs, eps: eps, n: n}
+	ix.keys = make([]core.Key, n)
+	for i := range recs {
+		ix.keys[i] = recs[i].Key
+	}
+	if n == 0 {
+		return ix, nil
+	}
+	// Dedup at float64 resolution (duplicates collapse to first position).
+	distinct := make([]float64, 0, n)
+	firstPos := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		x := float64(ix.keys[i])
+		if len(distinct) > 0 && x == distinct[len(distinct)-1] {
+			continue
+		}
+		distinct = append(distinct, x)
+		firstPos = append(firstPos, int32(i))
+	}
+	ix.nd = len(distinct)
+	if ix.nd < n {
+		ix.distinct = distinct
+		ix.firstPos = firstPos
+	}
+	// Single-pass ε-bounded spline (shrinking cone anchored at knots).
+	ix.segs = segment.BuildAnchored(distinct, segment.Positions(len(distinct)), float64(eps))
+	ix.firstKeys = make([]float64, len(ix.segs))
+	for i := range ix.segs {
+		ix.firstKeys[i] = ix.segs[i].FirstKey
+	}
+	// Radix table over (key - minKey) prefixes.
+	ix.minK = ix.keys[0]
+	span := ix.keys[n-1] - ix.minK
+	useful := 64 - bits.LeadingZeros64(span|1)
+	shift := useful - radixBits
+	if shift < 0 {
+		shift = 0
+	}
+	ix.shift = uint(shift)
+	slots := int(span>>ix.shift) + 2
+	ix.table = make([]int32, slots+1)
+	// Fill: table[p] = first segment index whose radix prefix >= p.
+	si := 0
+	for p := 0; p <= slots; p++ {
+		for si < len(ix.segs) && ix.radix(core.Key(ix.segs[si].FirstKey)) < uint64(p) {
+			si++
+		}
+		ix.table[p] = int32(si)
+	}
+	return ix, nil
+}
+
+func (ix *Index) radix(k core.Key) uint64 {
+	if k < ix.minK {
+		return 0
+	}
+	return uint64(k-ix.minK) >> ix.shift
+}
+
+// locate returns the spline segment covering key x.
+func (ix *Index) locate(k core.Key, x float64) int {
+	p := ix.radix(k)
+	if p >= uint64(len(ix.table)-1) {
+		p = uint64(len(ix.table) - 2)
+	}
+	lo := int(ix.table[p])
+	hi := int(ix.table[p+1])
+	if hi < len(ix.segs) {
+		hi++ // the covering segment may start before this radix slot
+	}
+	// Binary search for the last segment with FirstKey <= x in [lo, hi).
+	if lo > 0 {
+		lo--
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.firstKeys[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// LowerBound returns the smallest position i with keys[i] >= k.
+func (ix *Index) LowerBound(k core.Key) int {
+	if ix.n == 0 {
+		return 0
+	}
+	x := float64(k)
+	s := &ix.segs[ix.locate(k, x)]
+	var d int
+	if x > s.LastKey {
+		d = s.EndIdx
+	} else {
+		pred := int(math.Round(s.Predict(x)))
+		lo := core.Clamp(pred-ix.eps-1, s.StartIdx, s.EndIdx)
+		hi := core.Clamp(pred+ix.eps+2, lo, s.EndIdx)
+		d = lo
+		for l, h := lo, hi; l < h; {
+			mid := int(uint(l+h) >> 1)
+			if ix.distinctAt(mid) < x {
+				l = mid + 1
+				d = l
+			} else {
+				h = mid
+				d = h
+			}
+		}
+	}
+	if d >= ix.nd {
+		return ix.n
+	}
+	if ix.distinct == nil {
+		// Collision-free: one exact comparison resolves float ties between
+		// the probe and a stored key.
+		if ix.keys[d] < k {
+			return d + 1
+		}
+		return d
+	}
+	pos := int(ix.firstPos[d])
+	end := ix.n
+	if d+1 < ix.nd {
+		end = int(ix.firstPos[d+1])
+	}
+	return core.SearchRange(ix.keys, k, pos, end)
+}
+
+// distinctAt returns the i-th distinct float key.
+func (ix *Index) distinctAt(i int) float64 {
+	if ix.distinct == nil {
+		return float64(ix.keys[i])
+	}
+	return ix.distinct[i]
+}
+
+// Get returns the value stored for k.
+func (ix *Index) Get(k core.Key) (core.Value, bool) {
+	i := ix.LowerBound(k)
+	if i < ix.n && ix.keys[i] == k {
+		return ix.recs[i].Value, true
+	}
+	return 0, false
+}
+
+// Range calls fn for records with lo <= key <= hi ascending; fn returning
+// false stops. Returns records visited.
+func (ix *Index) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	i := ix.LowerBound(lo)
+	count := 0
+	for ; i < ix.n && ix.keys[i] <= hi; i++ {
+		count++
+		if !fn(ix.keys[i], ix.recs[i].Value) {
+			break
+		}
+	}
+	return count
+}
+
+// Len returns the number of records.
+func (ix *Index) Len() int { return ix.n }
+
+// SegmentCount returns the number of spline segments.
+func (ix *Index) SegmentCount() int { return len(ix.segs) }
+
+// Stats reports structure statistics.
+func (ix *Index) Stats() core.Stats {
+	return core.Stats{
+		Name:       "radixspline",
+		Count:      ix.n,
+		IndexBytes: len(ix.segs)*(segment.SegmentBytes+8) + 4*len(ix.table) + 12*len(ix.distinct),
+		DataBytes:  16 * ix.n,
+		Height:     2,
+		Models:     len(ix.segs),
+	}
+}

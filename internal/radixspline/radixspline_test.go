@@ -1,0 +1,125 @@
+package radixspline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func TestAllDistributions(t *testing.T) {
+	for _, kind := range dataset.Kinds() {
+		for _, eps := range []int{8, 64} {
+			keys, err := dataset.Keys(kind, 5000, 301)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix, err := Build(dataset.KV(keys), eps, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, k := range keys {
+				v, ok := ix.Get(k)
+				if !ok || v != dataset.PayloadFor(k) {
+					t.Fatalf("%s eps=%d: Get(%d) failed at %d", kind, eps, k, i)
+				}
+				if lb := ix.LowerBound(k); lb != i {
+					t.Fatalf("%s eps=%d: LowerBound(%d) = %d, want %d", kind, eps, k, lb, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Adversarial, 7000, 302)
+	ix, err := Build(dataset.KV(keys), 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(probe core.Key) bool {
+		return ix.LowerBound(probe) == core.LowerBound(keys, probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(303))
+	for i := 0; i < 3000; i++ {
+		probe := keys[r.Intn(len(keys))] + core.Key(r.Intn(5)) - 2
+		if ix.LowerBound(probe) != core.LowerBound(keys, probe) {
+			t.Fatalf("probe %d mismatch", probe)
+		}
+	}
+}
+
+func TestRangeAndMisc(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Clustered, 6000, 304)
+	ix, _ := Build(dataset.KV(keys), 0, 0)
+	for _, q := range dataset.Ranges(keys, 30, 0.01, 305) {
+		want := core.UpperBound(keys, q.Hi) - core.LowerBound(keys, q.Lo)
+		if got := ix.Range(q.Lo, q.Hi, func(core.Key, core.Value) bool { return true }); got != want {
+			t.Fatalf("Range = %d, want %d", got, want)
+		}
+	}
+	if ix.SegmentCount() < 1 || ix.Len() != 6000 {
+		t.Fatal("accessors")
+	}
+	st := ix.Stats()
+	if st.IndexBytes <= 0 || st.Models != ix.SegmentCount() {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	ix, err := Build(nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.LowerBound(5) != 0 {
+		t.Fatal("empty")
+	}
+	if _, err := Build([]core.KV{{Key: 3}, {Key: 1}}, 8, 8); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	ix, _ = Build([]core.KV{{Key: 7, Value: 9}}, 8, 8)
+	if v, ok := ix.Get(7); !ok || v != 9 {
+		t.Fatal("single record")
+	}
+	if ix.LowerBound(6) != 0 || ix.LowerBound(8) != 1 {
+		t.Fatal("single record bounds")
+	}
+	// Dense consecutive keys (radix table stress: span == n).
+	var recs []core.KV
+	for i := 0; i < 4000; i++ {
+		recs = append(recs, core.KV{Key: core.Key(i + 1000), Value: core.Value(i)})
+	}
+	ix, _ = Build(recs, 4, 20)
+	for i := range recs {
+		if lb := ix.LowerBound(recs[i].Key); lb != i {
+			t.Fatalf("dense LowerBound(%d) = %d", recs[i].Key, lb)
+		}
+	}
+	// Duplicates.
+	recs = recs[:0]
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, core.KV{Key: core.Key(i / 4), Value: core.Value(i)})
+	}
+	ix, _ = Build(recs, 8, 8)
+	for i := 0; i < 250; i++ {
+		if lb := ix.LowerBound(core.Key(i)); lb != i*4 {
+			t.Fatalf("dup LowerBound(%d) = %d", i, lb)
+		}
+	}
+}
+
+func TestEpsilonControlsSegments(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Lognormal, 30000, 306)
+	recs := dataset.KV(keys)
+	tight, _ := Build(recs, 4, 16)
+	loose, _ := Build(recs, 256, 16)
+	if tight.SegmentCount() <= loose.SegmentCount() {
+		t.Fatalf("eps=4 segs %d <= eps=256 segs %d", tight.SegmentCount(), loose.SegmentCount())
+	}
+}

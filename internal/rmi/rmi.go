@@ -1,0 +1,403 @@
+// Package rmi implements the Recursive Model Index of Kraska et al. ("The
+// Case for Learned Index Structures", SIGMOD 2018), the first learned index:
+// a two-stage hierarchy of models that learns the key→position CDF of a
+// sorted array, plus the paper's Hybrid-RMI variant that replaces
+// poorly-fitting stage-2 models with B-trees.
+//
+// The index is immutable (taxonomy: immutable / pure / fixed layout). A
+// lookup evaluates the root model to pick a stage-2 model, evaluates that
+// model to predict a position, and corrects the prediction with a bounded
+// binary search using the model's recorded min/max error.
+//
+// Correctness does not depend on model quality: stage-2 assignment is
+// monotonized during the build, per-model key boundaries are kept, and the
+// last-mile search window is clamped to the model's position range, so Get
+// and LowerBound are exact for any key.
+package rmi
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lix-go/lix/internal/btree"
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/mlmodel"
+)
+
+// RootKind selects the stage-1 model family.
+type RootKind string
+
+// Supported root model kinds.
+const (
+	RootLinear    RootKind = "linear"
+	RootQuadratic RootKind = "quadratic"
+	RootCubic     RootKind = "cubic"
+	RootMLP       RootKind = "mlp"
+)
+
+// Config parameterizes an RMI build.
+type Config struct {
+	// Stage2 is the number of second-stage models (the paper's fanout).
+	// Zero selects sqrt(n) capped to [16, 1<<18].
+	Stage2 int
+	// Root selects the stage-1 model. Empty selects RootLinear.
+	Root RootKind
+	// MLPHidden is the hidden width when Root is RootMLP (default 16).
+	MLPHidden int
+}
+
+type leafModel struct {
+	slope, intercept float64
+	errLo, errHi     int // min/max signed prediction error over assigned keys
+	startIdx, endIdx int // covered position range [startIdx, endIdx)
+	firstKey         core.Key
+}
+
+// Index is an immutable RMI over a sorted record array.
+type Index struct {
+	recs   []core.KV
+	keys   []core.Key // parallel key array for cache-friendly search
+	root   mlmodel.Model
+	leaves []leafModel
+	n      int
+	cfg    Config
+}
+
+// Build constructs an RMI over recs, which must be sorted ascending by key.
+// recs is retained (not copied).
+func Build(recs []core.KV, cfg Config) (*Index, error) {
+	n := len(recs)
+	for i := 1; i < n; i++ {
+		if recs[i].Key < recs[i-1].Key {
+			return nil, fmt.Errorf("rmi: input not sorted at %d", i)
+		}
+	}
+	if cfg.Stage2 <= 0 {
+		cfg.Stage2 = int(math.Sqrt(float64(n)))
+		if cfg.Stage2 < 16 {
+			cfg.Stage2 = 16
+		}
+		if cfg.Stage2 > 1<<18 {
+			cfg.Stage2 = 1 << 18
+		}
+	}
+	if cfg.Root == "" {
+		cfg.Root = RootLinear
+	}
+	ix := &Index{recs: recs, n: n, cfg: cfg}
+	ix.keys = make([]core.Key, n)
+	for i := range recs {
+		ix.keys[i] = recs[i].Key
+	}
+	if n == 0 {
+		ix.root = &mlmodel.Linear{}
+		ix.leaves = make([]leafModel, cfg.Stage2)
+		return ix, nil
+	}
+
+	// Stage 1: fit root on (key, position scaled to stage2 index).
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	L := float64(cfg.Stage2)
+	for i := range recs {
+		xs[i] = float64(recs[i].Key)
+		ys[i] = float64(i) / float64(n) * L
+	}
+	root, err := newRoot(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := root.Fit(xs, ys); err != nil {
+		return nil, fmt.Errorf("rmi: root fit: %w", err)
+	}
+	ix.root = root
+
+	// Stage 2: assign keys to models by (monotonized) root prediction.
+	assign := make([]int, n)
+	prev := 0
+	for i := range xs {
+		m := core.Clamp(int(root.Predict(xs[i])), 0, cfg.Stage2-1)
+		if m < prev {
+			m = prev // monotonize so model ranges are contiguous
+		}
+		assign[i] = m
+		prev = m
+	}
+	ix.leaves = make([]leafModel, cfg.Stage2)
+	start := 0
+	for m := 0; m < cfg.Stage2; m++ {
+		end := start
+		for end < n && assign[end] == m {
+			end++
+		}
+		lf := &ix.leaves[m]
+		lf.startIdx, lf.endIdx = start, end
+		if start < end {
+			lf.firstKey = ix.keys[start]
+			var lin mlmodel.Linear
+			if err := lin.Fit(xs[start:end], positions(start, end)); err != nil {
+				return nil, fmt.Errorf("rmi: leaf %d fit: %w", m, err)
+			}
+			if lin.Slope < 0 {
+				// Monotone leaf predictions keep the lower-bound window
+				// analysis valid; fall back to the endpoint chord.
+				_ = lin.FitEndpoints(xs[start:end], positions(start, end))
+				if lin.Slope < 0 {
+					lin.Slope = 0
+					lin.Intercept = float64(start+end-1) / 2
+				}
+			}
+			lf.slope, lf.intercept = lin.Slope, lin.Intercept
+			lo, hi := 0, 0
+			for i := start; i < end; i++ {
+				e := i - int(lf.predict(float64(ix.keys[i])))
+				if e < lo {
+					lo = e
+				}
+				if e > hi {
+					hi = e
+				}
+			}
+			lf.errLo, lf.errHi = lo, hi
+		} else {
+			lf.firstKey = math.MaxUint64 // fixed up below
+			lf.startIdx, lf.endIdx = start, start
+		}
+		start = end
+	}
+	// Empty models inherit the boundary of the next non-empty model so the
+	// query-time boundary walk behaves.
+	nextKey := core.Key(math.MaxUint64)
+	nextStart := n
+	for m := cfg.Stage2 - 1; m >= 0; m-- {
+		lf := &ix.leaves[m]
+		if lf.startIdx == lf.endIdx {
+			lf.firstKey = nextKey
+			lf.startIdx, lf.endIdx = nextStart, nextStart
+		} else {
+			nextKey = lf.firstKey
+			nextStart = lf.startIdx
+		}
+	}
+	return ix, nil
+}
+
+func newRoot(cfg Config) (mlmodel.Trainable, error) {
+	switch cfg.Root {
+	case RootLinear:
+		return &mlmodel.Linear{}, nil
+	case RootQuadratic:
+		return mlmodel.NewPolynomial(2), nil
+	case RootCubic:
+		return mlmodel.NewPolynomial(3), nil
+	case RootMLP:
+		h := cfg.MLPHidden
+		if h <= 0 {
+			h = 16
+		}
+		m := mlmodel.NewMLP(h)
+		m.Epochs = 300
+		return m, nil
+	default:
+		return nil, fmt.Errorf("rmi: unknown root kind %q", cfg.Root)
+	}
+}
+
+func positions(start, end int) []float64 {
+	ys := make([]float64, end-start)
+	for i := range ys {
+		ys[i] = float64(start + i)
+	}
+	return ys
+}
+
+func (lf *leafModel) predict(x float64) float64 {
+	return lf.slope*x + lf.intercept
+}
+
+// locate returns the stage-2 model index for key k: the root prediction
+// corrected by walking model boundaries until firstKey[m] <= k <
+// firstKey[m+1].
+func (ix *Index) locate(k core.Key) int {
+	m := core.Clamp(int(ix.root.Predict(float64(k))), 0, len(ix.leaves)-1)
+	// Trailing empty models carry the sentinel firstKey MaxUint64 with
+	// startIdx == n; a stored key equal to MaxUint64 must not walk into
+	// them, so the walk checks startIdx too.
+	for m+1 < len(ix.leaves) && k >= ix.leaves[m+1].firstKey && ix.leaves[m+1].startIdx < ix.n {
+		m++
+	}
+	for m > 0 && (k < ix.leaves[m].firstKey || ix.leaves[m].startIdx >= ix.n) {
+		m--
+	}
+	return m
+}
+
+// LowerBound returns the smallest position i with keys[i] >= k.
+func (ix *Index) LowerBound(k core.Key) int {
+	if ix.n == 0 {
+		return 0
+	}
+	lf := &ix.leaves[ix.locate(k)]
+	if lf.startIdx == lf.endIdx {
+		return lf.startIdx
+	}
+	pred := int(lf.predict(float64(k)))
+	lo := core.Clamp(pred+lf.errLo, lf.startIdx, lf.endIdx)
+	hi := core.Clamp(pred+lf.errHi+1, lo, lf.endIdx)
+	return core.SearchRange(ix.keys, k, lo, hi)
+}
+
+// Get returns the value stored for k.
+func (ix *Index) Get(k core.Key) (core.Value, bool) {
+	i := ix.LowerBound(k)
+	if i < ix.n && ix.keys[i] == k {
+		return ix.recs[i].Value, true
+	}
+	return 0, false
+}
+
+// Range calls fn for records with lo <= key <= hi ascending; fn returning
+// false stops. Returns records visited.
+func (ix *Index) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	i := ix.LowerBound(lo)
+	count := 0
+	for ; i < ix.n && ix.keys[i] <= hi; i++ {
+		count++
+		if !fn(ix.keys[i], ix.recs[i].Value) {
+			break
+		}
+	}
+	return count
+}
+
+// Len returns the number of records.
+func (ix *Index) Len() int { return ix.n }
+
+// MaxAbsError returns the largest recorded per-model absolute error.
+func (ix *Index) MaxAbsError() int {
+	worst := 0
+	for i := range ix.leaves {
+		if -ix.leaves[i].errLo > worst {
+			worst = -ix.leaves[i].errLo
+		}
+		if ix.leaves[i].errHi > worst {
+			worst = ix.leaves[i].errHi
+		}
+	}
+	return worst
+}
+
+// AvgWindow returns the mean last-mile search window width over models,
+// weighted by keys covered.
+func (ix *Index) AvgWindow() float64 {
+	if ix.n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range ix.leaves {
+		lf := &ix.leaves[i]
+		sum += float64(lf.endIdx-lf.startIdx) * float64(lf.errHi-lf.errLo+1)
+	}
+	return sum / float64(ix.n)
+}
+
+// Stats reports structure statistics. IndexBytes counts models only; the
+// sorted record array is DataBytes.
+func (ix *Index) Stats() core.Stats {
+	return core.Stats{
+		Name:       "rmi",
+		Count:      ix.n,
+		IndexBytes: ix.root.Bytes() + len(ix.leaves)*(8*4+8+8),
+		DataBytes:  16 * ix.n,
+		Height:     2,
+		Models:     1 + len(ix.leaves),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid-RMI
+// ---------------------------------------------------------------------------
+
+// Hybrid is the paper's hybrid variant: stage-2 models whose error window
+// exceeds a threshold are replaced by B-trees over their partition
+// (taxonomy: immutable / hybrid (B-tree)).
+type Hybrid struct {
+	ix       *Index
+	fallback map[int]*btree.Tree // model index -> B-tree
+	maxErr   int
+}
+
+// BuildHybrid builds an RMI and replaces every stage-2 model whose error
+// window exceeds maxErr with a B-tree.
+func BuildHybrid(recs []core.KV, cfg Config, maxErr int) (*Hybrid, error) {
+	ix, err := Build(recs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if maxErr < 1 {
+		maxErr = 1
+	}
+	h := &Hybrid{ix: ix, fallback: map[int]*btree.Tree{}, maxErr: maxErr}
+	for m := range ix.leaves {
+		lf := &ix.leaves[m]
+		if lf.endIdx-lf.startIdx == 0 {
+			continue
+		}
+		if lf.errHi-lf.errLo > maxErr {
+			bt, err := btree.Bulk(btree.DefaultOrder, recs[lf.startIdx:lf.endIdx])
+			if err != nil {
+				return nil, err
+			}
+			h.fallback[m] = bt
+		}
+	}
+	return h, nil
+}
+
+// Get returns the value stored for k.
+func (h *Hybrid) Get(k core.Key) (core.Value, bool) {
+	if h.ix.n == 0 {
+		return 0, false
+	}
+	m := h.ix.locate(k)
+	if bt, ok := h.fallback[m]; ok {
+		return bt.Get(k)
+	}
+	lf := &h.ix.leaves[m]
+	if lf.startIdx == lf.endIdx {
+		return 0, false
+	}
+	pred := int(lf.predict(float64(k)))
+	lo := core.Clamp(pred+lf.errLo, lf.startIdx, lf.endIdx)
+	hi := core.Clamp(pred+lf.errHi+1, lo, lf.endIdx)
+	i := core.SearchRange(h.ix.keys, k, lo, hi)
+	if i < h.ix.n && h.ix.keys[i] == k {
+		return h.ix.recs[i].Value, true
+	}
+	return 0, false
+}
+
+// Range calls fn for records with lo <= key <= hi ascending; the scan runs
+// over the shared sorted array, so it is exact regardless of which
+// partitions fell back to B-trees.
+func (h *Hybrid) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	return h.ix.Range(lo, hi, fn)
+}
+
+// FallbackCount returns how many stage-2 slots are B-trees.
+func (h *Hybrid) FallbackCount() int { return len(h.fallback) }
+
+// Len returns the number of records.
+func (h *Hybrid) Len() int { return h.ix.n }
+
+// Stats reports structure statistics including fallback B-trees.
+func (h *Hybrid) Stats() core.Stats {
+	st := h.ix.Stats()
+	st.Name = "hybrid-rmi"
+	for _, bt := range h.fallback {
+		bst := bt.Stats()
+		st.IndexBytes += bst.IndexBytes
+		st.Models += bst.Models
+	}
+	return st
+}

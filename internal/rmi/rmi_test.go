@@ -1,0 +1,243 @@
+package rmi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func buildOn(t *testing.T, kind dataset.Kind, n int, cfg Config) (*Index, []core.Key) {
+	t.Helper()
+	keys, err := dataset.Keys(kind, n, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(dataset.KV(keys), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, keys
+}
+
+func checkAllLookups(t *testing.T, ix *Index, keys []core.Key, label string) {
+	t.Helper()
+	for i, k := range keys {
+		v, ok := ix.Get(k)
+		if !ok || v != dataset.PayloadFor(k) {
+			t.Fatalf("%s: Get(%d) = %d,%v at i=%d", label, k, v, ok, i)
+		}
+		if lb := ix.LowerBound(k); lb != i {
+			t.Fatalf("%s: LowerBound(%d) = %d, want %d", label, k, lb, i)
+		}
+	}
+}
+
+func TestAllDistributionsAllRoots(t *testing.T) {
+	for _, kind := range dataset.Kinds() {
+		for _, root := range []RootKind{RootLinear, RootQuadratic, RootCubic} {
+			ix, keys := buildOn(t, kind, 5000, Config{Stage2: 128, Root: root})
+			checkAllLookups(t, ix, keys, string(kind)+"/"+string(root))
+		}
+	}
+}
+
+func TestMLPRoot(t *testing.T) {
+	ix, keys := buildOn(t, dataset.Lognormal, 3000, Config{Stage2: 64, Root: RootMLP, MLPHidden: 8})
+	checkAllLookups(t, ix, keys, "mlp")
+}
+
+func TestMissingKeys(t *testing.T) {
+	ix, keys := buildOn(t, dataset.Clustered, 8000, Config{Stage2: 256})
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i+1 < len(keys); i += 13 {
+		if keys[i]+1 >= keys[i+1] {
+			continue
+		}
+		gap := keys[i] + 1 + core.Key(r.Int63n(int64(keys[i+1]-keys[i]-1)))
+		if _, ok := ix.Get(gap); ok {
+			t.Fatalf("phantom key %d found", gap)
+		}
+		if lb := ix.LowerBound(gap); lb != i+1 {
+			t.Fatalf("LowerBound(miss %d) = %d, want %d", gap, lb, i+1)
+		}
+	}
+	// Keys below/above the whole range.
+	if lb := ix.LowerBound(keys[0] - 1); lb != 0 {
+		t.Fatalf("LowerBound(below) = %d", lb)
+	}
+	if lb := ix.LowerBound(keys[len(keys)-1] + 1); lb != len(keys) {
+		t.Fatalf("LowerBound(above) = %d", lb)
+	}
+}
+
+func TestRange(t *testing.T) {
+	ix, keys := buildOn(t, dataset.Uniform, 5000, Config{})
+	for _, q := range dataset.Ranges(keys, 50, 0.005, 7) {
+		want := core.UpperBound(keys, q.Hi) - core.LowerBound(keys, q.Lo)
+		var got []core.Key
+		n := ix.Range(q.Lo, q.Hi, func(k core.Key, v core.Value) bool {
+			got = append(got, k)
+			return true
+		})
+		if n != want {
+			t.Fatalf("Range(%d,%d) = %d records, want %d", q.Lo, q.Hi, n, want)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatal("range out of order")
+			}
+		}
+	}
+	// Early stop.
+	count := 0
+	ix.Range(0, ^core.Key(0), func(core.Key, core.Value) bool { count++; return count < 9 })
+	if count != 9 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	ix, err := Build(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Get(5); ok {
+		t.Fatal("Get on empty")
+	}
+	if ix.LowerBound(5) != 0 || ix.Len() != 0 {
+		t.Fatal("empty index misbehaves")
+	}
+	ix, err = Build([]core.KV{{Key: 42, Value: 1}}, Config{Stage2: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ix.Get(42); !ok || v != 1 {
+		t.Fatal("single-record Get")
+	}
+	if ix.LowerBound(41) != 0 || ix.LowerBound(43) != 1 {
+		t.Fatal("single-record LowerBound")
+	}
+}
+
+func TestUnsortedRejected(t *testing.T) {
+	if _, err := Build([]core.KV{{Key: 5}, {Key: 3}}, Config{}); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	if _, err := Build([]core.KV{{Key: 1}}, Config{Root: "bogus"}); err == nil {
+		t.Fatal("bogus root accepted")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	// Duplicates are legal input; LowerBound must return the first.
+	var recs []core.KV
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, core.KV{Key: core.Key(i / 4 * 10), Value: core.Value(i)})
+	}
+	ix, err := Build(recs, Config{Stage2: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 250; i++ {
+		k := core.Key(i * 10)
+		if lb := ix.LowerBound(k); lb != i*4 {
+			t.Fatalf("LowerBound(dup %d) = %d, want %d", k, lb, i*4)
+		}
+	}
+}
+
+// Property: RMI agrees with core.LowerBound on arbitrary probes.
+func TestLowerBoundProperty(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Lognormal, 4000, 11)
+	ix, err := Build(dataset.KV(keys), Config{Stage2: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(probe core.Key) bool {
+		return ix.LowerBound(probe) == core.LowerBound(keys, probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Also probe around every 50th key explicitly.
+	for i := 0; i < len(keys); i += 50 {
+		for _, d := range []int64{-1, 0, 1} {
+			probe := core.Key(int64(keys[i]) + d)
+			if ix.LowerBound(probe) != core.LowerBound(keys, probe) {
+				t.Fatalf("LowerBound(%d) mismatch", probe)
+			}
+		}
+	}
+}
+
+func TestErrorMetricsAndStats(t *testing.T) {
+	ix, _ := buildOn(t, dataset.Clustered, 5000, Config{Stage2: 64})
+	if ix.MaxAbsError() < 0 {
+		t.Fatal("negative max error")
+	}
+	if ix.AvgWindow() <= 0 {
+		t.Fatal("avg window should be positive")
+	}
+	st := ix.Stats()
+	if st.Count != 5000 || st.IndexBytes <= 0 || st.Models != 65 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// More stage-2 models should shrink the average window.
+	big, _ := buildOn(t, dataset.Clustered, 5000, Config{Stage2: 1024})
+	if big.AvgWindow() > ix.AvgWindow() {
+		t.Fatalf("window grew with fanout: %g -> %g", ix.AvgWindow(), big.AvgWindow())
+	}
+}
+
+func TestHybrid(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Adversarial, 6000, 13)
+	recs := dataset.KV(keys)
+	h, err := BuildHybrid(recs, Config{Stage2: 64}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 6000 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	// On adversarial data some models should have been replaced.
+	if h.FallbackCount() == 0 {
+		t.Fatal("expected B-tree fallbacks on adversarial data")
+	}
+	for i, k := range keys {
+		v, ok := h.Get(k)
+		if !ok || v != recs[i].Value {
+			t.Fatalf("hybrid Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	// Misses.
+	if _, ok := h.Get(keys[0] - 1); ok {
+		t.Fatal("hybrid phantom")
+	}
+	st := h.Stats()
+	if st.Name != "hybrid-rmi" || st.Models <= 65 {
+		t.Fatalf("hybrid stats = %+v", st)
+	}
+	// Empty hybrid.
+	he, err := BuildHybrid(nil, Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := he.Get(1); ok {
+		t.Fatal("empty hybrid Get")
+	}
+}
+
+func TestLargeBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ix, keys := buildOn(t, dataset.Lognormal, 200000, Config{})
+	for i := 0; i < len(keys); i += 997 {
+		if _, ok := ix.Get(keys[i]); !ok {
+			t.Fatalf("lost key %d", keys[i])
+		}
+	}
+}

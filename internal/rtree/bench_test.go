@@ -1,0 +1,53 @@
+package rtree
+
+import (
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func BenchmarkSearch(b *testing.B) {
+	pts, _ := dataset.Points(dataset.SOSMLike, 1<<17, 2, 1)
+	t, err := BulkSTR(DefaultMaxEntries, dataset.PV(pts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.RectQueries(pts, 1024, 1e-3, 2)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		v, _ := t.Search(queries[i&1023], func(core.PV) bool { return true })
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkKNN(b *testing.B) {
+	pts, _ := dataset.Points(dataset.SOSMLike, 1<<17, 2, 1)
+	t, _ := BulkSTR(DefaultMaxEntries, dataset.PV(pts))
+	queries := dataset.KNNQueries(pts, 1024, 3)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(t.KNN(queries[i&1023], 10))
+	}
+	_ = sink
+}
+
+func BenchmarkHybridPointSearch(b *testing.B) {
+	pts, _ := dataset.Points(dataset.SOSMLike, 1<<17, 2, 1)
+	pvs := dataset.PV(pts)
+	t, _ := BulkSTR(DefaultMaxEntries, pvs)
+	h, err := NewHybrid(t, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		n, _ := h.PointSearch(pvs[(i*40503)&(1<<17-1)].Point, func(core.PV) bool { return true })
+		sink += n
+	}
+	_ = sink
+}

@@ -1,0 +1,171 @@
+package rtree
+
+import (
+	"fmt"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// Hybrid is an ML-enhanced R-tree in the spirit of the "AI+R"-tree
+// (Al-Mamun et al., MDM 2022): a learned model — here a grid over leaf
+// MBRs, the simplest instance-optimized predictor — maps a point query
+// directly to its candidate leaf nodes, skipping the root-to-leaf
+// traversal. Queries whose candidate set is too large (the model predicts
+// badly there) fall back to the traditional R-tree search, mirroring the
+// paper's query classifier that routes "hard" queries down the traditional
+// path.
+//
+// Taxonomy: hybrid (R-tree branch), Approach 1 — a traditional index
+// augmented with an ML model.
+type Hybrid struct {
+	tree  *Tree
+	cells int
+	min   core.Point
+	max   core.Point
+	grid  [][]*node // cell -> candidate leaves
+	// MaxCandidates bounds the learned path; larger candidate sets fall
+	// back to the traditional search.
+	MaxCandidates int
+	// Diagnostics.
+	LearnedHits int
+	Fallbacks   int
+}
+
+// NewHybrid wraps a bulk-loaded tree with a leaf-prediction grid of
+// cells^dim buckets (cells 0 selects 32 for 2-D, 16 for 3-D+).
+func NewHybrid(t *Tree, cells int) (*Hybrid, error) {
+	if t.size == 0 {
+		return nil, fmt.Errorf("rtree: hybrid over empty tree")
+	}
+	if cells <= 0 {
+		if t.dim <= 2 {
+			cells = 32
+		} else {
+			cells = 16
+		}
+	}
+	total := 1
+	for d := 0; d < t.dim; d++ {
+		if total > (1<<24)/cells {
+			return nil, fmt.Errorf("rtree: hybrid grid too large")
+		}
+		total *= cells
+	}
+	h := &Hybrid{tree: t, cells: cells, MaxCandidates: 8}
+	world := t.root.mbr()
+	h.min = world.Min
+	h.max = world.Max
+	for d := 0; d < t.dim; d++ {
+		if !(h.max[d] > h.min[d]) {
+			h.max[d] = h.min[d] + 1
+		}
+	}
+	h.grid = make([][]*node, total)
+	h.indexLeaves(t.root)
+	return h, nil
+}
+
+// indexLeaves registers every leaf in all grid cells its MBR overlaps.
+func (h *Hybrid) indexLeaves(n *node) {
+	if n.leaf {
+		r := n.mbr()
+		lo := make([]int, h.tree.dim)
+		hi := make([]int, h.tree.dim)
+		for d := 0; d < h.tree.dim; d++ {
+			lo[d] = h.cell(d, r.Min[d])
+			hi[d] = h.cell(d, r.Max[d])
+		}
+		idx := make([]int, h.tree.dim)
+		copy(idx, lo)
+		for {
+			flat := 0
+			for d := 0; d < h.tree.dim; d++ {
+				flat = flat*h.cells + idx[d]
+			}
+			h.grid[flat] = append(h.grid[flat], n)
+			d := h.tree.dim - 1
+			for d >= 0 {
+				idx[d]++
+				if idx[d] <= hi[d] {
+					break
+				}
+				idx[d] = lo[d]
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+		return
+	}
+	for i := range n.entries {
+		h.indexLeaves(n.entries[i].child)
+	}
+}
+
+func (h *Hybrid) cell(d int, v float64) int {
+	c := int((v - h.min[d]) / (h.max[d] - h.min[d]) * float64(h.cells))
+	if c < 0 {
+		c = 0
+	}
+	if c >= h.cells {
+		c = h.cells - 1
+	}
+	return c
+}
+
+// PointSearch finds all stored points equal to p, calling fn for each. It
+// returns points found and leaves inspected. The learned path inspects the
+// predicted candidate leaves directly; oversized candidate sets fall back
+// to the traditional R-tree search.
+func (h *Hybrid) PointSearch(p core.Point, fn func(core.PV) bool) (found, leaves int) {
+	if p.Dim() != h.tree.dim {
+		return 0, 0
+	}
+	flat := 0
+	for d := 0; d < h.tree.dim; d++ {
+		flat = flat*h.cells + h.cell(d, p[d])
+	}
+	cands := h.grid[flat]
+	if len(cands) == 0 || len(cands) > h.MaxCandidates {
+		// Model is uninformative here: traditional path.
+		h.Fallbacks++
+		v, nodes := h.tree.Search(core.RectOf(p), fn)
+		return v, nodes
+	}
+	h.LearnedHits++
+	target := core.RectOf(p)
+	for _, leaf := range cands {
+		if !leaf.mbr().Intersects(target) {
+			continue
+		}
+		leaves++
+		for i := range leaf.entries {
+			if leaf.entries[i].pv.Point.Equal(p) {
+				found++
+				if !fn(leaf.entries[i].pv) {
+					return found, leaves
+				}
+			}
+		}
+	}
+	return found, leaves
+}
+
+// Search delegates range queries to the traditional R-tree (as in the
+// AI+R-tree, whose learned path targets point-style queries).
+func (h *Hybrid) Search(rect core.Rect, fn func(core.PV) bool) (visited, nodes int) {
+	return h.tree.Search(rect, fn)
+}
+
+// Stats reports structure statistics including the prediction grid.
+func (h *Hybrid) Stats() core.Stats {
+	st := h.tree.Stats()
+	st.Name = "learned-rtree"
+	ptrs := 0
+	for _, c := range h.grid {
+		ptrs += len(c)
+	}
+	st.IndexBytes += len(h.grid)*24 + ptrs*8
+	return st
+}

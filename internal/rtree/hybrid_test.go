@@ -1,0 +1,98 @@
+package rtree
+
+import (
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func TestHybridPointSearch(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SOSMLike, 8000, 2, 2001)
+	pvs := dataset.PV(pts)
+	tr, err := BulkSTR(32, pvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHybrid(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pv := range pvs {
+		found := 0
+		n, leaves := h.PointSearch(pv.Point, func(got core.PV) bool {
+			if got.Point.Equal(pv.Point) {
+				found++
+			}
+			return true
+		})
+		if n < 1 || found < 1 {
+			t.Fatalf("point %d not found (n=%d leaves=%d)", i, n, leaves)
+		}
+	}
+	if h.LearnedHits == 0 {
+		t.Fatal("learned path never used")
+	}
+	// Misses.
+	if n, _ := h.PointSearch(core.Point{-50, -50}, func(core.PV) bool { return true }); n != 0 {
+		t.Fatalf("phantom point found: %d", n)
+	}
+}
+
+func TestHybridFewerLeavesThanTraditional(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 10000, 2, 2002)
+	pvs := dataset.PV(pts)
+	tr, _ := BulkSTR(32, pvs)
+	h, _ := NewHybrid(tr, 64)
+	var learned, traditional int
+	for i := 0; i < len(pvs); i += 7 {
+		_, l := h.PointSearch(pvs[i].Point, func(core.PV) bool { return true })
+		_, n := tr.Search(core.RectOf(pvs[i].Point), func(core.PV) bool { return true })
+		learned += l
+		traditional += n
+	}
+	if learned >= traditional {
+		t.Fatalf("learned path touched %d leaves vs traditional %d nodes", learned, traditional)
+	}
+}
+
+func TestHybridRangeDelegates(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 3000, 2, 2003)
+	pvs := dataset.PV(pts)
+	tr, _ := BulkSTR(16, pvs)
+	h, _ := NewHybrid(tr, 16)
+	for _, q := range dataset.RectQueries(pts, 20, 0.01, 2004) {
+		want := 0
+		for _, pv := range pvs {
+			if q.Contains(pv.Point) {
+				want++
+			}
+		}
+		got, _ := h.Search(q, func(core.PV) bool { return true })
+		if got != want {
+			t.Fatalf("hybrid range: got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestHybridErrors(t *testing.T) {
+	if _, err := NewHybrid(New(8), 16); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+	pts, _ := dataset.Points(dataset.SUniform, 100, 4, 2005)
+	tr, _ := BulkSTR(16, dataset.PV(pts))
+	if _, err := NewHybrid(tr, 1000); err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+	h, err := NewHybrid(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := h.PointSearch(core.Point{1, 2}, func(core.PV) bool { return true }); n != 0 {
+		t.Fatal("dim mismatch point search")
+	}
+	st := h.Stats()
+	if st.Name != "learned-rtree" || st.IndexBytes <= tr.Stats().IndexBytes {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,453 @@
+// Package rtree implements an in-memory R-tree over d-dimensional points
+// (Guttman, 1984): quadratic-split inserts, deletion with re-insertion, and
+// Sort-Tile-Recursive (STR) bulk loading. It is the traditional
+// multi-dimensional baseline of the benchmark suite and the traditional
+// component of the hybrid learned spatial indexes.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// DefaultMaxEntries is the default node capacity.
+const DefaultMaxEntries = 32
+
+// Tree is an R-tree over points. The zero value is not usable; call New or
+// BulkSTR.
+type Tree struct {
+	maxEntries int
+	minEntries int
+	root       *node
+	size       int
+	dim        int // 0 until the first point fixes dimensionality
+}
+
+type entry struct {
+	rect  core.Rect
+	child *node   // non-nil for inner entries
+	pv    core.PV // payload for leaf entries
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// New returns an empty tree with the given node capacity (clamped to >= 4).
+func New(maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &Tree{
+		maxEntries: maxEntries,
+		minEntries: maxEntries * 2 / 5, // 40% fill, Guttman's recommendation
+		root:       &node{leaf: true},
+	}
+}
+
+// BulkSTR builds a tree from points using Sort-Tile-Recursive packing,
+// producing near-100% full nodes. O(n log n).
+func BulkSTR(maxEntries int, pvs []core.PV) (*Tree, error) {
+	t := New(maxEntries)
+	if len(pvs) == 0 {
+		return t, nil
+	}
+	dim := pvs[0].Point.Dim()
+	for i := range pvs {
+		if pvs[i].Point.Dim() != dim {
+			return nil, fmt.Errorf("rtree: point %d has dim %d, want %d", i, pvs[i].Point.Dim(), dim)
+		}
+	}
+	t.dim = dim
+	entries := make([]entry, len(pvs))
+	for i, pv := range pvs {
+		entries[i] = entry{rect: core.RectOf(pv.Point), pv: pv}
+	}
+	level := t.strPack(entries, true)
+	for len(level) > 1 {
+		level = t.strPack(level, false)
+	}
+	t.root = level[0].child
+	t.size = len(pvs)
+	return t, nil
+}
+
+// strPack tiles entries into nodes along each dimension recursively and
+// returns the parent entries for the next level.
+func (t *Tree) strPack(entries []entry, leaf bool) []entry {
+	cap := t.maxEntries
+	n := len(entries)
+	nodesNeeded := (n + cap - 1) / cap
+	// Recursively sort-tile: slabs along dim 0, then sub-slabs, etc.
+	var tile func(es []entry, d int, slabs int)
+	tile = func(es []entry, d int, slabs int) {
+		if d >= t.dim || slabs <= 1 || len(es) <= cap {
+			return
+		}
+		sort.Slice(es, func(i, j int) bool {
+			return es[i].rect.Center()[d] < es[j].rect.Center()[d]
+		})
+		// Number of slabs along this dimension: ceil(slabs^(1/(dim-d))).
+		s := int(math.Ceil(math.Pow(float64(slabs), 1/float64(t.dim-d))))
+		if s < 1 {
+			s = 1
+		}
+		// Round the slab size up to a multiple of the node capacity so that
+		// the final sequential cap-sized chunking never crosses a slab
+		// boundary.
+		per := (len(es) + s - 1) / s
+		per = (per + cap - 1) / cap * cap
+		for i := 0; i < len(es); i += per {
+			end := i + per
+			if end > len(es) {
+				end = len(es)
+			}
+			tile(es[i:end], d+1, (slabs+s-1)/s)
+		}
+	}
+	tile(entries, 0, nodesNeeded)
+	var out []entry
+	for i := 0; i < n; i += cap {
+		end := i + cap
+		if end > n {
+			end = n
+		}
+		nd := &node{leaf: leaf, entries: append([]entry(nil), entries[i:end]...)}
+		out = append(out, entry{rect: nd.mbr(), child: nd})
+	}
+	return out
+}
+
+func (n *node) mbr() core.Rect {
+	r := n.entries[0].rect.Clone()
+	for _, e := range n.entries[1:] {
+		r = r.Expand(e.rect)
+	}
+	return r
+}
+
+// Len returns the number of points.
+func (t *Tree) Len() int { return t.size }
+
+// Dim returns the dimensionality (0 if empty and never inserted).
+func (t *Tree) Dim() int { return t.dim }
+
+// Insert adds a point.
+func (t *Tree) Insert(p core.Point, v core.Value) error {
+	if t.dim == 0 {
+		t.dim = p.Dim()
+	}
+	if p.Dim() != t.dim {
+		return fmt.Errorf("rtree: point dim %d, tree dim %d", p.Dim(), t.dim)
+	}
+	e := entry{rect: core.RectOf(p), pv: core.PV{Point: p.Clone(), Value: v}}
+	split := t.insert(t.root, e)
+	if split != nil {
+		old := t.root
+		t.root = &node{
+			leaf: false,
+			entries: []entry{
+				{rect: old.mbr(), child: old},
+				{rect: split.mbr(), child: split},
+			},
+		}
+	}
+	t.size++
+	return nil
+}
+
+// insert places e into the subtree at n, returning a new sibling if n split.
+func (t *Tree) insert(n *node, e entry) *node {
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	// Choose subtree: least enlargement, ties by smallest area.
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range n.entries {
+		enl := n.entries[i].rect.EnlargementArea(e.rect)
+		area := n.entries[i].rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	child := n.entries[best].child
+	split := t.insert(child, e)
+	n.entries[best].rect = child.mbr()
+	if split != nil {
+		n.entries = append(n.entries, entry{rect: split.mbr(), child: split})
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+	}
+	return nil
+}
+
+// splitNode performs Guttman's quadratic split, mutating n and returning
+// the new sibling.
+func (t *Tree) splitNode(n *node) *node {
+	es := n.entries
+	// Pick seeds: pair with maximal dead area.
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			d := es[i].rect.Clone().Expand(es[j].rect).Area() - es[i].rect.Area() - es[j].rect.Area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+	groupA := []entry{es[seedA]}
+	groupB := []entry{es[seedB]}
+	rectA := es[seedA].rect.Clone()
+	rectB := es[seedB].rect.Clone()
+	var rest []entry
+	for i := range es {
+		if i != seedA && i != seedB {
+			rest = append(rest, es[i])
+		}
+	}
+	for len(rest) > 0 {
+		// Force assignment if one group must take all remaining to reach min.
+		if len(groupA)+len(rest) == t.minEntries {
+			groupA = append(groupA, rest...)
+			for _, e := range rest {
+				rectA = rectA.Expand(e.rect)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.minEntries {
+			groupB = append(groupB, rest...)
+			for _, e := range rest {
+				rectB = rectB.Expand(e.rect)
+			}
+			break
+		}
+		// Pick the entry with the greatest preference difference.
+		bestIdx, bestDiff := 0, -1.0
+		var bestToA bool
+		for i, e := range rest {
+			dA := rectA.EnlargementArea(e.rect)
+			dB := rectB.EnlargementArea(e.rect)
+			diff := math.Abs(dA - dB)
+			if diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+				bestToA = dA < dB || (dA == dB && rectA.Area() < rectB.Area())
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		if bestToA {
+			groupA = append(groupA, e)
+			rectA = rectA.Expand(e.rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB = rectB.Expand(e.rect)
+		}
+	}
+	n.entries = groupA
+	return &node{leaf: n.leaf, entries: groupB}
+}
+
+// Delete removes one point equal to p (with matching value), returning true
+// if found. Underflowing nodes are dissolved and their entries re-inserted
+// (Guttman's CondenseTree).
+func (t *Tree) Delete(p core.Point, v core.Value) bool {
+	if t.size == 0 || p.Dim() != t.dim {
+		return false
+	}
+	var orphans []entry
+	found := t.deleteRec(t.root, p, v, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	// Collapse root.
+	if !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	// Re-insert orphaned points.
+	for _, e := range orphans {
+		t.size--
+		if err := t.Insert(e.pv.Point, e.pv.Value); err != nil {
+			// Cannot happen: orphan dims match the tree.
+			panic(err)
+		}
+	}
+	return true
+}
+
+func (t *Tree) deleteRec(n *node, p core.Point, v core.Value, orphans *[]entry) bool {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].pv.Value == v && n.entries[i].pv.Point.Equal(p) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	target := core.RectOf(p)
+	for i := range n.entries {
+		if !n.entries[i].rect.Intersects(target) {
+			continue
+		}
+		child := n.entries[i].child
+		if !t.deleteRec(child, p, v, orphans) {
+			continue
+		}
+		if len(child.entries) < t.minEntries {
+			// Dissolve the child; collect its points (or descend for inner).
+			collectLeafEntries(child, orphans)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			n.entries[i].rect = child.mbr()
+		}
+		return true
+	}
+	return false
+}
+
+func collectLeafEntries(n *node, out *[]entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for i := range n.entries {
+		collectLeafEntries(n.entries[i].child, out)
+	}
+}
+
+// Search calls fn for every point inside rect (inclusive); fn returning
+// false stops the search. It returns the number of points visited and the
+// number of nodes touched (the I/O proxy reported by the benchmarks).
+func (t *Tree) Search(rect core.Rect, fn func(core.PV) bool) (visited, nodes int) {
+	stop := false
+	var rec func(n *node)
+	rec = func(n *node) {
+		nodes++
+		for i := range n.entries {
+			if stop {
+				return
+			}
+			e := &n.entries[i]
+			if !e.rect.Intersects(rect) {
+				continue
+			}
+			if n.leaf {
+				if rect.Contains(e.pv.Point) {
+					visited++
+					if !fn(e.pv) {
+						stop = true
+						return
+					}
+				}
+			} else {
+				rec(e.child)
+			}
+		}
+	}
+	if t.size > 0 {
+		rec(t.root)
+	}
+	return visited, nodes
+}
+
+// knnItem is a priority-queue element for best-first kNN.
+type knnItem struct {
+	distSq float64
+	node   *node // nil for a point item
+	pv     core.PV
+}
+
+type knnHeap []knnItem
+
+func (h knnHeap) Len() int            { return len(h) }
+func (h knnHeap) Less(i, j int) bool  { return h[i].distSq < h[j].distSq }
+func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x interface{}) { *h = append(*h, x.(knnItem)) }
+func (h *knnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// KNN returns the k nearest points to q in ascending distance order using
+// best-first search.
+func (t *Tree) KNN(q core.Point, k int) []core.PV {
+	if t.size == 0 || k <= 0 {
+		return nil
+	}
+	h := &knnHeap{{distSq: 0, node: t.root}}
+	var out []core.PV
+	for h.Len() > 0 && len(out) < k {
+		it := heap.Pop(h).(knnItem)
+		if it.node == nil {
+			out = append(out, it.pv)
+			continue
+		}
+		for i := range it.node.entries {
+			e := &it.node.entries[i]
+			if it.node.leaf {
+				heap.Push(h, knnItem{distSq: q.DistSq(e.pv.Point), pv: e.pv})
+			} else {
+				heap.Push(h, knnItem{distSq: e.rect.MinDistSq(q), node: e.child})
+			}
+		}
+	}
+	return out
+}
+
+// Height returns the number of levels.
+func (t *Tree) Height() int {
+	h := 1
+	n := t.root
+	for !n.leaf {
+		h++
+		n = n.entries[0].child
+	}
+	return h
+}
+
+// Stats reports structure statistics.
+func (t *Tree) Stats() core.Stats {
+	var nodes, idxBytes, dataBytes int
+	var rec func(n *node)
+	rec = func(n *node) {
+		nodes++
+		idxBytes += 16 * t.dim * len(n.entries) // two corners per rect
+		if n.leaf {
+			dataBytes += (8*t.dim + 8) * len(n.entries)
+		} else {
+			idxBytes += 8 * len(n.entries) // child pointers
+			for i := range n.entries {
+				rec(n.entries[i].child)
+			}
+		}
+	}
+	rec(t.root)
+	return core.Stats{
+		Name:       "rtree",
+		Count:      t.size,
+		IndexBytes: idxBytes,
+		DataBytes:  dataBytes,
+		Height:     t.Height(),
+		Models:     nodes,
+	}
+}

@@ -1,0 +1,231 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+// bruteRange is the reference implementation for range queries.
+func bruteRange(pvs []core.PV, rect core.Rect) map[core.Value]bool {
+	out := map[core.Value]bool{}
+	for _, pv := range pvs {
+		if rect.Contains(pv.Point) {
+			out[pv.Value] = true
+		}
+	}
+	return out
+}
+
+// bruteKNN is the reference implementation for kNN.
+func bruteKNN(pvs []core.PV, q core.Point, k int) []float64 {
+	ds := make([]float64, len(pvs))
+	for i, pv := range pvs {
+		ds[i] = q.DistSq(pv.Point)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func buildBoth(t *testing.T, pts []core.Point) (*Tree, *Tree, []core.PV) {
+	t.Helper()
+	pvs := dataset.PV(pts)
+	bulk, err := BulkSTR(16, pvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := New(16)
+	for _, pv := range pvs {
+		if err := inc.Insert(pv.Point, pv.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bulk, inc, pvs
+}
+
+func TestRangeMatchesBrute(t *testing.T) {
+	for _, kind := range []dataset.SpatialKind{dataset.SUniform, dataset.SOSMLike} {
+		pts, _ := dataset.Points(kind, 4000, 2, 21)
+		bulk, inc, pvs := buildBoth(t, pts)
+		queries := dataset.RectQueries(pts, 40, 0.01, 22)
+		for qi, q := range queries {
+			want := bruteRange(pvs, q)
+			for name, tr := range map[string]*Tree{"bulk": bulk, "incremental": inc} {
+				got := map[core.Value]bool{}
+				n, nodes := tr.Search(q, func(pv core.PV) bool {
+					got[pv.Value] = true
+					return true
+				})
+				if n != len(want) || len(got) != len(want) {
+					t.Fatalf("%s/%s q%d: got %d, want %d", kind, name, qi, n, len(want))
+				}
+				for v := range want {
+					if !got[v] {
+						t.Fatalf("%s/%s q%d: missing value %d", kind, name, qi, v)
+					}
+				}
+				if nodes <= 0 {
+					t.Fatalf("nodes = %d", nodes)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBrute(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SOSMLike, 3000, 2, 23)
+	bulk, inc, pvs := buildBoth(t, pts)
+	queries := dataset.KNNQueries(pts, 25, 24)
+	for _, k := range []int{1, 5, 50} {
+		for qi, q := range queries {
+			want := bruteKNN(pvs, q, k)
+			for name, tr := range map[string]*Tree{"bulk": bulk, "incremental": inc} {
+				got := tr.KNN(q, k)
+				if len(got) != len(want) {
+					t.Fatalf("%s q%d k=%d: len %d, want %d", name, qi, k, len(got), len(want))
+				}
+				prev := -1.0
+				for i, pv := range got {
+					d := q.DistSq(pv.Point)
+					if d < prev {
+						t.Fatalf("%s: kNN results out of order", name)
+					}
+					prev = d
+					if d != want[i] {
+						t.Fatalf("%s q%d k=%d: dist[%d] = %g, want %g", name, qi, k, i, d, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKNNMoreThanSize(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 10, 2, 1)
+	bulk, _, _ := buildBoth(t, pts)
+	got := bulk.KNN(core.Point{0, 0}, 50)
+	if len(got) != 10 {
+		t.Fatalf("kNN beyond size = %d", len(got))
+	}
+}
+
+func TestEmptyAndErrors(t *testing.T) {
+	tr := New(8)
+	if tr.Len() != 0 {
+		t.Fatal("empty len")
+	}
+	if got := tr.KNN(core.Point{1, 2}, 3); got != nil {
+		t.Fatal("kNN on empty")
+	}
+	rect, _ := core.NewRect(core.Point{0, 0}, core.Point{1, 1})
+	if n, _ := tr.Search(rect, func(core.PV) bool { return true }); n != 0 {
+		t.Fatal("search on empty")
+	}
+	if err := tr.Insert(core.Point{1, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(core.Point{1, 2, 3}, 0); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := BulkSTR(8, []core.PV{{Point: core.Point{1}}, {Point: core.Point{1, 2}}}); err == nil {
+		t.Fatal("mixed-dim bulk accepted")
+	}
+	empty, err := BulkSTR(8, nil)
+	if err != nil || empty.Len() != 0 {
+		t.Fatal("empty bulk failed")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 2000, 2, 31)
+	_, tr, pvs := buildBoth(t, pts)
+	r := rand.New(rand.NewSource(32))
+	perm := r.Perm(len(pvs))
+	removed := map[core.Value]bool{}
+	for _, i := range perm[:1000] {
+		if !tr.Delete(pvs[i].Point, pvs[i].Value) {
+			t.Fatalf("Delete(%v) missed", pvs[i].Point)
+		}
+		removed[pvs[i].Value] = true
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("len after deletes = %d", tr.Len())
+	}
+	// Deleted points gone, others remain.
+	all, _ := core.NewRect(core.Point{0, 0}, core.Point{dataset.Extent, dataset.Extent})
+	seen := map[core.Value]bool{}
+	tr.Search(all, func(pv core.PV) bool {
+		seen[pv.Value] = true
+		return true
+	})
+	if len(seen) != 1000 {
+		t.Fatalf("full scan found %d", len(seen))
+	}
+	for v := range seen {
+		if removed[v] {
+			t.Fatalf("deleted value %d still present", v)
+		}
+	}
+	// Delete a non-existent point.
+	if tr.Delete(core.Point{-1, -1}, 999999) {
+		t.Fatal("deleted phantom")
+	}
+	// Drain completely.
+	for _, pv := range pvs {
+		if !removed[pv.Value] {
+			if !tr.Delete(pv.Point, pv.Value) {
+				t.Fatalf("drain delete missed %v", pv.Point)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len after drain = %d", tr.Len())
+	}
+}
+
+func TestBulkQualityVsIncremental(t *testing.T) {
+	// STR packing should touch fewer nodes than incremental inserts for the
+	// same queries (the reason bulk loading exists).
+	pts, _ := dataset.Points(dataset.SUniform, 5000, 2, 41)
+	bulk, inc, _ := buildBoth(t, pts)
+	queries := dataset.RectQueries(pts, 60, 0.005, 42)
+	bulkNodes, incNodes := 0, 0
+	for _, q := range queries {
+		_, n1 := bulk.Search(q, func(core.PV) bool { return true })
+		_, n2 := inc.Search(q, func(core.PV) bool { return true })
+		bulkNodes += n1
+		incNodes += n2
+	}
+	if bulkNodes > incNodes {
+		t.Fatalf("bulk touched %d nodes, incremental %d", bulkNodes, incNodes)
+	}
+}
+
+func TestStatsAndHeight(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 3000, 3, 43)
+	bulk, _, _ := buildBoth(t, pts)
+	st := bulk.Stats()
+	if st.Count != 3000 || st.IndexBytes <= 0 || st.Height < 2 || bulk.Dim() != 3 {
+		t.Fatalf("stats = %+v dim=%d", st, bulk.Dim())
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 1000, 2, 44)
+	bulk, _, _ := buildBoth(t, pts)
+	all, _ := core.NewRect(core.Point{0, 0}, core.Point{dataset.Extent, dataset.Extent})
+	count := 0
+	bulk.Search(all, func(core.PV) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}

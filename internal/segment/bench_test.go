@@ -1,0 +1,33 @@
+package segment
+
+import (
+	"testing"
+
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func benchInput(n int) ([]float64, []float64) {
+	keys, _ := dataset.Keys(dataset.Lognormal, n, 1)
+	xs := dataset.Floats(keys)
+	return xs, Positions(len(xs))
+}
+
+func BenchmarkBuildOptimal(b *testing.B) {
+	xs, ys := benchInput(1 << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if segs := BuildOptimal(xs, ys, 64); len(segs) == 0 {
+			b.Fatal("no segments")
+		}
+	}
+}
+
+func BenchmarkBuildAnchored(b *testing.B) {
+	xs, ys := benchInput(1 << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if segs := BuildAnchored(xs, ys, 64); len(segs) == 0 {
+			b.Fatal("no segments")
+		}
+	}
+}

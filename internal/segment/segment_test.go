@@ -1,0 +1,279 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type builder func(xs, ys []float64, eps float64) []Segment
+
+func genSorted(r *rand.Rand, n int, mode int) []float64 {
+	xs := make([]float64, n)
+	switch mode % 4 {
+	case 0: // uniform
+		for i := range xs {
+			xs[i] = r.Float64() * 1e9
+		}
+	case 1: // lognormal (heavy skew)
+		for i := range xs {
+			xs[i] = math.Exp(r.NormFloat64() * 4)
+		}
+	case 2: // clustered
+		for i := range xs {
+			c := float64(r.Intn(5)) * 1e8
+			xs[i] = c + r.Float64()*1e3
+		}
+	case 3: // with duplicates
+		for i := range xs {
+			xs[i] = float64(r.Intn(n/4 + 1))
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// buildOn dedups and builds, returning the dedup arrays too.
+func buildOn(b builder, raw []float64, eps float64) (xs, ys []float64, segs []Segment) {
+	xs, ys = Dedup(raw)
+	return xs, ys, b(xs, ys, eps)
+}
+
+func checkTiling(t *testing.T, name string, n int, segs []Segment) {
+	t.Helper()
+	if len(segs) == 0 {
+		t.Fatalf("%s: no segments", name)
+	}
+	if segs[0].StartIdx != 0 || segs[len(segs)-1].EndIdx != n {
+		t.Fatalf("%s: segments do not cover array (first=%d last=%d n=%d)",
+			name, segs[0].StartIdx, segs[len(segs)-1].EndIdx, n)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].StartIdx != segs[i-1].EndIdx {
+			t.Fatalf("%s: gap between segments %d and %d", name, i-1, i)
+		}
+	}
+}
+
+func testErrorBound(t *testing.T, b builder, name string) {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	for mode := 0; mode < 4; mode++ {
+		for _, eps := range []float64{1, 4, 16, 64} {
+			raw := genSorted(r, 3000, mode)
+			xs, ys, segs := buildOn(b, raw, eps)
+			checkTiling(t, name, len(xs), segs)
+			if e := MaxError(xs, ys, segs); e > eps+1e-6 {
+				t.Fatalf("%s mode=%d eps=%g: max error %g", name, mode, eps, e)
+			}
+		}
+	}
+}
+
+func TestAnchoredErrorBound(t *testing.T) { testErrorBound(t, BuildAnchored, "anchored") }
+func TestOptimalErrorBound(t *testing.T)  { testErrorBound(t, BuildOptimal, "optimal") }
+
+func TestOptimalNotWorseMuch(t *testing.T) {
+	// The polygon method should essentially never produce more segments
+	// than the anchored cone (tiny slack for the capped slope box).
+	r := rand.New(rand.NewSource(5))
+	for mode := 0; mode < 3; mode++ {
+		raw := genSorted(r, 5000, mode)
+		for _, eps := range []float64{4.0, 32.0} {
+			_, _, a := buildOn(BuildAnchored, raw, eps)
+			_, _, o := buildOn(BuildOptimal, raw, eps)
+			if float64(len(o)) > 1.1*float64(len(a))+2 {
+				t.Fatalf("mode=%d eps=%g: optimal %d segments vs anchored %d",
+					mode, eps, len(o), len(a))
+			}
+		}
+	}
+}
+
+func TestLinearDataOneSegment(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i) * 7
+	}
+	ys := Positions(len(xs))
+	for _, b := range []builder{BuildAnchored, BuildOptimal} {
+		segs := b(xs, ys, 1)
+		if len(segs) != 1 {
+			t.Fatalf("perfectly linear data produced %d segments", len(segs))
+		}
+		if e := MaxError(xs, ys, segs); e > 1 {
+			t.Fatalf("linear data error = %g", e)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if BuildAnchored(nil, nil, 4) != nil || BuildOptimal(nil, nil, 4) != nil {
+		t.Fatal("nil input should produce nil")
+	}
+	for _, b := range []builder{BuildAnchored, BuildOptimal} {
+		segs := b([]float64{42}, []float64{0}, 0)
+		if len(segs) != 1 || segs[0].Len() != 1 {
+			t.Fatalf("single key: %+v", segs)
+		}
+		if p := segs[0].Predict(42); math.Abs(p) > 1e-9 {
+			t.Fatalf("single key predict = %g", p)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	xs, ys := Dedup([]float64{1, 1, 1, 3, 5, 5, 9})
+	wantX := []float64{1, 3, 5, 9}
+	wantY := []float64{0, 3, 4, 6}
+	if len(xs) != len(wantX) {
+		t.Fatalf("Dedup xs = %v", xs)
+	}
+	for i := range wantX {
+		if xs[i] != wantX[i] || ys[i] != wantY[i] {
+			t.Fatalf("Dedup = %v %v, want %v %v", xs, ys, wantX, wantY)
+		}
+	}
+	if x, y := Dedup(nil); x != nil || y != nil {
+		t.Fatal("Dedup(nil) should be nil")
+	}
+}
+
+func TestAllDuplicates(t *testing.T) {
+	raw := make([]float64, 100)
+	for i := range raw {
+		raw[i] = 5
+	}
+	for name, b := range map[string]builder{
+		"anchored": BuildAnchored, "optimal": BuildOptimal,
+	} {
+		xs, ys, segs := buildOn(b, raw, 2)
+		checkTiling(t, name, len(xs), segs)
+		if e := MaxError(xs, ys, segs); e > 2+1e-6 {
+			t.Fatalf("%s: duplicate error %g", name, e)
+		}
+	}
+}
+
+func TestZeroEps(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	raw := genSorted(r, 500, 0)
+	xs, ys, segs := buildOn(BuildOptimal, raw, 0)
+	if e := MaxError(xs, ys, segs); e > 1e-6 {
+		t.Fatalf("eps=0 error = %g", e)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	segs := []Segment{
+		{FirstKey: 0, LastKey: 9},
+		{FirstKey: 10, LastKey: 19},
+		{FirstKey: 20, LastKey: 29},
+	}
+	cases := []struct {
+		k    float64
+		want int
+	}{{-5, 0}, {0, 0}, {5, 0}, {10, 1}, {15, 1}, {20, 2}, {100, 2}}
+	for _, c := range cases {
+		if got := Locate(segs, c.k); got != c.want {
+			t.Errorf("Locate(%g) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+// Property: for random sorted inputs and random eps the bound always holds
+// and segments tile the (deduped) input, for both builders.
+func TestPLAProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(99))}
+	f := func(seed int64, epsRaw uint8, mode uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(1000)
+		eps := float64(epsRaw%64) + 1
+		raw := genSorted(r, n, int(mode))
+		for _, b := range []builder{BuildAnchored, BuildOptimal} {
+			xs, ys, segs := buildOn(b, raw, eps)
+			if segs[0].StartIdx != 0 || segs[len(segs)-1].EndIdx != len(xs) {
+				return false
+			}
+			for i := 1; i < len(segs); i++ {
+				if segs[i].StartIdx != segs[i-1].EndIdx {
+					return false
+				}
+			}
+			if MaxError(xs, ys, segs) > eps+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalFewerSegmentsOnCurvedData(t *testing.T) {
+	// On smoothly curved data (quadratic CDF) the free-intercept optimal
+	// method should need no more segments than the anchored cone.
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		x := float64(i) / float64(n)
+		xs[i] = x * x * 1e9
+	}
+	ys := Positions(n)
+	a := len(BuildAnchored(xs, ys, 8))
+	o := len(BuildOptimal(xs, ys, 8))
+	if o > a {
+		t.Fatalf("optimal %d > anchored %d on curved data", o, a)
+	}
+	if a < 2 {
+		t.Fatalf("expected multiple segments, got %d", a)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	p := Positions(3)
+	if len(p) != 3 || p[0] != 0 || p[2] != 2 {
+		t.Fatalf("Positions(3) = %v", p)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	for _, b := range []builder{BuildAnchored, BuildOptimal} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on xs/ys mismatch")
+				}
+			}()
+			b([]float64{1, 2}, []float64{0}, 1)
+		}()
+	}
+}
+
+func TestOptimalLinearDataIsFast(t *testing.T) {
+	// Regression: on perfectly linear data the feasible polygon used to
+	// grow one vertex per point, making the pass quadratic (a 100k-key
+	// build took minutes). With pruning it must be linear and still emit
+	// very few segments with the error bound intact.
+	n := 500000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) * 17
+	}
+	ys := Positions(n)
+	start := time.Now()
+	segs := BuildOptimal(xs, ys, 32)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("linear-data build took %v", d)
+	}
+	if len(segs) > 4 {
+		t.Fatalf("linear data produced %d segments", len(segs))
+	}
+	if e := MaxError(xs, ys, segs); e > 32+1e-6 {
+		t.Fatalf("error %g", e)
+	}
+}

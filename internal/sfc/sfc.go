@@ -1,0 +1,439 @@
+// Package sfc implements space-filling curves — Z-order (Morton) for any
+// dimensionality and the Hilbert curve for two dimensions — together with
+// the quantization and range-decomposition machinery that projection-based
+// learned multi-dimensional indexes (Approach 2 in the paper: ZM-index,
+// LISA-style mappings) are built on.
+//
+// A curve maps a d-dimensional grid cell to a one-dimensional code; range
+// queries decompose a query rectangle into a small set of code intervals
+// that together cover exactly the cells intersecting the rectangle.
+package sfc
+
+import (
+	"fmt"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// Quantizer maps float64 coordinates in a bounding box to grid cells of
+// 2^bits cells per dimension.
+type Quantizer struct {
+	Min, Max []float64
+	Bits     uint // bits per dimension
+}
+
+// NewQuantizer builds a quantizer over the given bounds. bits*dims must not
+// exceed 63 so codes fit in a uint64 with a sign bit to spare.
+func NewQuantizer(min, max []float64, bits uint) (*Quantizer, error) {
+	if len(min) != len(max) || len(min) == 0 {
+		return nil, fmt.Errorf("sfc: bad bounds dims %d/%d", len(min), len(max))
+	}
+	if bits == 0 || bits*uint(len(min)) > 63 {
+		return nil, fmt.Errorf("sfc: bits=%d dims=%d exceeds 63 code bits", bits, len(min))
+	}
+	for i := range min {
+		if !(min[i] < max[i]) {
+			return nil, fmt.Errorf("sfc: empty bound in dim %d", i)
+		}
+	}
+	return &Quantizer{Min: append([]float64(nil), min...), Max: append([]float64(nil), max...), Bits: bits}, nil
+}
+
+// Cells returns the number of cells per dimension.
+func (q *Quantizer) Cells() uint64 { return 1 << q.Bits }
+
+// Cell quantizes one coordinate in dimension d, clamping out-of-bounds
+// values to the edge cells.
+func (q *Quantizer) Cell(d int, v float64) uint32 {
+	frac := (v - q.Min[d]) / (q.Max[d] - q.Min[d])
+	c := int64(frac * float64(q.Cells()))
+	if c < 0 {
+		c = 0
+	}
+	if c >= int64(q.Cells()) {
+		c = int64(q.Cells()) - 1
+	}
+	return uint32(c)
+}
+
+// CellPoint quantizes a full point.
+func (q *Quantizer) CellPoint(p core.Point) []uint32 {
+	out := make([]uint32, len(p))
+	for d := range p {
+		out[d] = q.Cell(d, p[d])
+	}
+	return out
+}
+
+// CellLo returns the lowest coordinate value mapping into cell c of dim d.
+func (q *Quantizer) CellLo(d int, c uint32) float64 {
+	return q.Min[d] + float64(c)/float64(q.Cells())*(q.Max[d]-q.Min[d])
+}
+
+// ---------------------------------------------------------------------------
+// Morton (Z-order) curve
+// ---------------------------------------------------------------------------
+
+// Morton interleaves the bits of d coordinates, bits per dimension, into a
+// single code. Dimension 0 contributes the highest bit of each group.
+type Morton struct {
+	Dims int
+	Bits uint
+}
+
+// NewMorton validates and returns a Morton curve.
+func NewMorton(dims int, bits uint) (*Morton, error) {
+	if dims < 1 || bits == 0 || bits*uint(dims) > 63 {
+		return nil, fmt.Errorf("sfc: invalid morton dims=%d bits=%d", dims, bits)
+	}
+	return &Morton{Dims: dims, Bits: bits}, nil
+}
+
+// Encode interleaves coords (one per dimension, each < 2^Bits) into a code.
+func (m *Morton) Encode(coords []uint32) uint64 {
+	var z uint64
+	for b := int(m.Bits) - 1; b >= 0; b-- {
+		for d := 0; d < m.Dims; d++ {
+			z = (z << 1) | uint64((coords[d]>>uint(b))&1)
+		}
+	}
+	return z
+}
+
+// Decode splits code z back into coordinates.
+func (m *Morton) Decode(z uint64) []uint32 {
+	coords := make([]uint32, m.Dims)
+	m.DecodeInto(z, coords)
+	return coords
+}
+
+// DecodeInto splits code z into the provided slice.
+func (m *Morton) DecodeInto(z uint64, coords []uint32) {
+	for d := range coords {
+		coords[d] = 0
+	}
+	shift := int(m.Bits)*m.Dims - 1
+	for b := int(m.Bits) - 1; b >= 0; b-- {
+		for d := 0; d < m.Dims; d++ {
+			coords[d] |= uint32((z>>uint(shift))&1) << uint(b)
+			shift--
+		}
+	}
+}
+
+// MaxCode returns the largest representable code.
+func (m *Morton) MaxCode() uint64 {
+	return (uint64(1) << (m.Bits * uint(m.Dims))) - 1
+}
+
+// Interval is an inclusive range of curve codes.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Ranges decomposes the cell-space rectangle [min[d], max[d]] (inclusive
+// cell coordinates per dimension) into at most maxRanges code intervals
+// whose union covers every cell in the rectangle. Intervals may
+// over-approximate (cover cells outside the rectangle) when the budget is
+// too small for an exact decomposition; callers filter by decoding.
+func (m *Morton) Ranges(min, max []uint32, maxRanges int) []Interval {
+	if maxRanges < 1 {
+		maxRanges = 1
+	}
+	var out []Interval
+	// Recursive octant walk over the implicit 2^d-ary partition of code
+	// space. Each node is the code prefix interval [lo, hi] of an aligned
+	// hypercube with side 2^level cells, whose corner cell coords are c.
+	var walk func(lo uint64, level uint, c []uint32, budget *int)
+	walk = func(lo uint64, level uint, c []uint32, budget *int) {
+		size := uint64(1) << (level * uint(m.Dims)) // codes in this cube
+		hi := lo + size - 1
+		side := uint32(1)<<level - 1
+		// Disjoint?
+		for d := 0; d < m.Dims; d++ {
+			if c[d] > max[d] || c[d]+side < min[d] {
+				return
+			}
+		}
+		// Fully contained?
+		contained := true
+		for d := 0; d < m.Dims; d++ {
+			if c[d] < min[d] || c[d]+side > max[d] {
+				contained = false
+				break
+			}
+		}
+		if contained || level == 0 || *budget <= 1 {
+			// Emit, merging with the previous interval when adjacent.
+			if n := len(out); n > 0 && out[n-1].Hi+1 == lo {
+				out[n-1].Hi = hi
+			} else {
+				out = append(out, Interval{lo, hi})
+				*budget--
+			}
+			return
+		}
+		// Recurse into 2^d children in Z-order.
+		childSize := size >> uint(m.Dims)
+		half := uint32(1) << (level - 1)
+		child := make([]uint32, m.Dims)
+		for i := uint64(0); i < 1<<uint(m.Dims); i++ {
+			for d := 0; d < m.Dims; d++ {
+				child[d] = c[d]
+				// Bit (Dims-1-d) of i selects the upper half of dim d so
+				// that dimension 0 owns the most significant bit, matching
+				// Encode.
+				if i>>(uint(m.Dims)-1-uint(d))&1 == 1 {
+					child[d] += half
+				}
+			}
+			walk(lo+i*childSize, level-1, child, budget)
+		}
+	}
+	budget := maxRanges
+	corner := make([]uint32, m.Dims)
+	walk(0, m.Bits, corner, &budget)
+	return coalesce(out, maxRanges)
+}
+
+// coalesce merges intervals across the smallest code gaps until at most
+// maxRanges remain. The result covers a superset of the input, so callers
+// that filter decoded cells stay exact.
+func coalesce(ivs []Interval, maxRanges int) []Interval {
+	for len(ivs) > maxRanges {
+		// Find the adjacent pair with the smallest gap and merge it.
+		best := 1
+		bestGap := ivs[1].Lo - ivs[0].Hi
+		for i := 2; i < len(ivs); i++ {
+			if g := ivs[i].Lo - ivs[i-1].Hi; g < bestGap {
+				best, bestGap = i, g
+			}
+		}
+		ivs[best-1].Hi = ivs[best].Hi
+		ivs = append(ivs[:best], ivs[best+1:]...)
+	}
+	return ivs
+}
+
+// ContainsCell reports whether decoded cell coords lie in [min, max].
+func ContainsCell(coords, min, max []uint32) bool {
+	for d := range coords {
+		if coords[d] < min[d] || coords[d] > max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Hilbert curve (2-D)
+// ---------------------------------------------------------------------------
+
+// Hilbert2D maps 2-D grid cells to Hilbert curve positions. Unlike Z-order,
+// consecutive codes are always adjacent cells, which reduces the number of
+// intervals a range query decomposes into.
+type Hilbert2D struct {
+	Bits uint
+}
+
+// NewHilbert2D validates and returns a Hilbert curve with bits per
+// dimension (2*bits <= 62).
+func NewHilbert2D(bits uint) (*Hilbert2D, error) {
+	if bits == 0 || bits > 31 {
+		return nil, fmt.Errorf("sfc: invalid hilbert bits=%d", bits)
+	}
+	return &Hilbert2D{Bits: bits}, nil
+}
+
+// Encode maps cell (x, y) to its Hilbert index.
+func (h *Hilbert2D) Encode(x, y uint32) uint64 {
+	var rx, ry uint32
+	var d uint64
+	n := uint32(1) << h.Bits
+	for s := n / 2; s > 0; s /= 2 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+// Decode maps a Hilbert index back to cell (x, y).
+func (h *Hilbert2D) Decode(d uint64) (x, y uint32) {
+	var rx, ry uint32
+	t := d
+	n := uint64(1) << h.Bits
+	for s := uint64(1); s < n; s *= 2 {
+		rx = uint32(1 & (t / 2))
+		ry = uint32(1 & (t ^ uint64(rx)))
+		// Rotate.
+		if ry == 0 {
+			if rx == 1 {
+				x = uint32(s) - 1 - x
+				y = uint32(s) - 1 - y
+			}
+			x, y = y, x
+		}
+		x += uint32(s) * rx
+		y += uint32(s) * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// MaxCode returns the largest representable Hilbert index.
+func (h *Hilbert2D) MaxCode() uint64 { return (uint64(1) << (2 * h.Bits)) - 1 }
+
+// Ranges decomposes the rectangle [min, max] (inclusive cell coords) into
+// at most maxRanges Hilbert index intervals covering it, by the same
+// quadrant recursion as Morton.Ranges.
+func (h *Hilbert2D) Ranges(min, max [2]uint32, maxRanges int) []Interval {
+	if maxRanges < 1 {
+		maxRanges = 1
+	}
+	type cube struct {
+		x, y  uint32
+		level uint
+	}
+	var out []Interval
+	var walk func(c cube, budget *int)
+	walk = func(c cube, budget *int) {
+		side := uint32(1)<<c.level - 1
+		if c.x > max[0] || c.x+side < min[0] || c.y > max[1] || c.y+side < min[1] {
+			return
+		}
+		contained := c.x >= min[0] && c.x+side <= max[0] && c.y >= min[1] && c.y+side <= max[1]
+		if contained || c.level == 0 || *budget <= 1 {
+			// Hilbert codes of an aligned quadrant form a contiguous
+			// interval; compute it from the corner cells' codes: the min
+			// and max code in the cube are attained at some corner-ordered
+			// positions, but since the cube is a single Hilbert subtree,
+			// codes span exactly size^2 consecutive values starting at the
+			// minimum corner code among cells. Compute via entry cell.
+			lo := h.cubeStart(c.x, c.y, c.level)
+			size := uint64(1) << (2 * c.level)
+			hi := lo + size - 1
+			if n := len(out); n > 0 && out[n-1].Hi+1 == lo {
+				out[n-1].Hi = hi
+			} else {
+				out = append(out, Interval{lo, hi})
+				*budget--
+			}
+			return
+		}
+		half := uint32(1) << (c.level - 1)
+		children := [4]cube{
+			{c.x, c.y, c.level - 1},
+			{c.x + half, c.y, c.level - 1},
+			{c.x, c.y + half, c.level - 1},
+			{c.x + half, c.y + half, c.level - 1},
+		}
+		// Visit children in Hilbert code order so adjacent intervals merge.
+		starts := make([]uint64, 4)
+		for i, ch := range children {
+			starts[i] = h.cubeStart(ch.x, ch.y, ch.level)
+		}
+		order := [4]int{0, 1, 2, 3}
+		for i := 1; i < 4; i++ {
+			for j := i; j > 0 && starts[order[j]] < starts[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for _, i := range order {
+			walk(children[i], budget)
+		}
+	}
+	budget := maxRanges
+	walk(cube{0, 0, h.Bits}, &budget)
+	// The recursion emits in code order already.
+	return coalesce(out, maxRanges)
+}
+
+// cubeStart returns the smallest Hilbert code inside the aligned cube with
+// corner (x, y) and side 2^level. Because an aligned cube is a complete
+// subtree of the Hilbert recursion, its codes are the 4^level consecutive
+// values starting at floor(code(any corner cell) / 4^level) * 4^level.
+func (h *Hilbert2D) cubeStart(x, y uint32, level uint) uint64 {
+	code := h.Encode(x, y)
+	size := uint64(1) << (2 * level)
+	return code / size * size
+}
+
+// ---------------------------------------------------------------------------
+// Convenience: project float points through quantizer + curve
+// ---------------------------------------------------------------------------
+
+// Curve is a space-filling curve over quantized cells.
+type Curve interface {
+	// Code maps quantized cell coordinates to a 1-D code.
+	Code(coords []uint32) uint64
+	// Cell inverts Code.
+	Cell(code uint64) []uint32
+	// Max returns the largest representable code.
+	Max() uint64
+}
+
+// MortonCurve adapts Morton to the Curve interface.
+type MortonCurve struct{ *Morton }
+
+// Code implements Curve.
+func (c MortonCurve) Code(coords []uint32) uint64 { return c.Encode(coords) }
+
+// Cell implements Curve.
+func (c MortonCurve) Cell(code uint64) []uint32 { return c.Decode(code) }
+
+// Max implements Curve.
+func (c MortonCurve) Max() uint64 { return c.MaxCode() }
+
+// HilbertCurve adapts Hilbert2D to the Curve interface.
+type HilbertCurve struct{ *Hilbert2D }
+
+// Code implements Curve.
+func (c HilbertCurve) Code(coords []uint32) uint64 { return c.Encode(coords[0], coords[1]) }
+
+// Cell implements Curve.
+func (c HilbertCurve) Cell(code uint64) []uint32 {
+	x, y := c.Decode(code)
+	return []uint32{x, y}
+}
+
+// Max implements Curve.
+func (c HilbertCurve) Max() uint64 { return c.MaxCode() }
+
+// CodePoint quantizes p and encodes it on the curve.
+func CodePoint(q *Quantizer, c Curve, p core.Point) uint64 {
+	return c.Code(q.CellPoint(p))
+}
+
+// Dist2D is a helper for tests: Chebyshev distance between two cells.
+func Dist2D(a, b []uint32) uint32 {
+	var m uint32
+	for d := range a {
+		var diff uint32
+		if a[d] > b[d] {
+			diff = a[d] - b[d]
+		} else {
+			diff = b[d] - a[d]
+		}
+		if diff > m {
+			m = diff
+		}
+	}
+	return m
+}

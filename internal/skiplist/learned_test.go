@@ -1,0 +1,150 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func TestLearnedMatchesPlain(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Lognormal, 20000, 21)
+	plain := New(1)
+	learned := NewLearned(1, 16)
+	r := rand.New(rand.NewSource(22))
+	perm := r.Perm(len(keys))
+	for _, i := range perm {
+		plain.Insert(keys[i], core.Value(i))
+		learned.Insert(keys[i], core.Value(i))
+	}
+	if learned.Len() != plain.Len() {
+		t.Fatalf("len %d vs %d", learned.Len(), plain.Len())
+	}
+	if learned.LaneRebuilds == 0 {
+		t.Fatal("fast lane never built")
+	}
+	probes := dataset.LookupMix(keys, 10000, 0.8, 23)
+	for _, p := range probes {
+		v1, ok1 := plain.Get(p)
+		v2, ok2 := learned.Get(p)
+		if ok1 != ok2 || (ok1 && v1 != v2) {
+			t.Fatalf("Get(%d) = %d,%v vs plain %d,%v", p, v2, ok2, v1, ok1)
+		}
+	}
+	for _, q := range dataset.Ranges(keys, 30, 0.005, 24) {
+		n1 := plain.Range(q.Lo, q.Hi, func(core.Key, core.Value) bool { return true })
+		n2 := learned.Range(q.Lo, q.Hi, func(core.Key, core.Value) bool { return true })
+		if n1 != n2 {
+			t.Fatalf("Range(%d,%d) = %d vs plain %d", q.Lo, q.Hi, n2, n1)
+		}
+	}
+}
+
+func TestLearnedDeletedLaneNodes(t *testing.T) {
+	// Force lane entries to die between rebuilds and verify lookups stay
+	// exact (the frozen-pointer hazard).
+	l := NewLearned(3, 8)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		l.Insert(core.Key(i*10), core.Value(i))
+	}
+	l.rebuildLane() // fresh lane referencing current nodes
+	// Delete exactly the sampled keys.
+	for _, k := range append([]core.Key(nil), l.keys...) {
+		l.list.Delete(k) // bypass the wrapper: no rebuild bookkeeping
+	}
+	for i := 0; i < n; i++ {
+		k := core.Key(i * 10)
+		_, ok := l.Get(k)
+		wantOK := true
+		for _, dk := range l.keys {
+			if dk == k {
+				wantOK = false
+			}
+		}
+		if ok != wantOK {
+			t.Fatalf("Get(%d) = %v, want %v after sampled deletions", k, ok, wantOK)
+		}
+	}
+	// Inserts between lane entries are found without a rebuild.
+	l.Insert(15, 999)
+	if v, ok := l.Get(15); !ok || v != 999 {
+		t.Fatal("insert between lane entries lost")
+	}
+}
+
+func TestLearnedMixedMatchesMapProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(25))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := NewLearned(uint64(seed)|1, 4+r.Intn(12))
+		ref := map[core.Key]core.Value{}
+		for op := 0; op < 3000; op++ {
+			k := core.Key(r.Intn(600))
+			switch r.Intn(4) {
+			case 0, 1:
+				v := core.Value(r.Uint64())
+				l.Insert(k, v)
+				ref[k] = v
+			case 2:
+				got := l.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			case 3:
+				v, ok := l.Get(k)
+				wv, wok := ref[k]
+				if ok != wok || (ok && v != wv) {
+					return false
+				}
+			}
+			if l.Len() != len(ref) {
+				return false
+			}
+		}
+		seen := 0
+		okAll := true
+		l.Range(0, ^core.Key(0), func(k core.Key, v core.Value) bool {
+			wv, wok := ref[k]
+			if !wok || wv != v {
+				okAll = false
+				return false
+			}
+			seen++
+			return true
+		})
+		return okAll && seen == len(ref)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnedEmptyAndStats(t *testing.T) {
+	l := NewLearned(0, 0)
+	if _, ok := l.Get(1); ok {
+		t.Fatal("empty get")
+	}
+	if l.Delete(1) {
+		t.Fatal("empty delete")
+	}
+	for i := 0; i < 5000; i++ {
+		l.Insert(core.Key(i), core.Value(i))
+	}
+	st := l.Stats()
+	if st.Name != "learned-skiplist" || st.Models == 0 || st.Count != 5000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Upsert does not grow.
+	l.Insert(0, 7)
+	if l.Len() != 5000 {
+		t.Fatal("upsert grew the list")
+	}
+	if v, _ := l.Get(0); v != 7 {
+		t.Fatal("upsert lost")
+	}
+}

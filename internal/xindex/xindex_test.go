@@ -1,0 +1,226 @@
+package xindex
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func TestBulkGet(t *testing.T) {
+	for _, kind := range dataset.Kinds() {
+		keys, _ := dataset.Keys(kind, 8000, 901)
+		ix, err := Bulk(dataset.KV(keys), 512, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Len() != 8000 {
+			t.Fatalf("%s: len = %d", kind, ix.Len())
+		}
+		for _, k := range keys {
+			v, ok := ix.Get(k)
+			if !ok || v != dataset.PayloadFor(k) {
+				t.Fatalf("%s: Get(%d) = %d,%v", kind, k, v, ok)
+			}
+		}
+	}
+}
+
+func TestSequentialInsertSplits(t *testing.T) {
+	ix := New(256, 32)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ix.Insert(core.Key(i*2), core.Value(i))
+	}
+	if ix.Len() != n {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	if ix.Compactions.Load() == 0 {
+		t.Fatal("expected compactions")
+	}
+	r := ix.root.Load()
+	if len(r.groups) < 10 {
+		t.Fatalf("expected many groups, got %d", len(r.groups))
+	}
+	for i := 0; i < n; i++ {
+		v, ok := ix.Get(core.Key(i * 2))
+		if !ok || v != core.Value(i) {
+			t.Fatalf("Get(%d) = %d,%v", i*2, v, ok)
+		}
+		if _, ok := ix.Get(core.Key(i*2 + 1)); ok {
+			t.Fatal("phantom")
+		}
+	}
+}
+
+func TestDeleteAndCompact(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Uniform, 5000, 902)
+	ix, _ := Bulk(dataset.KV(keys), 512, 64)
+	for i := 0; i < len(keys); i += 2 {
+		if !ix.Delete(keys[i]) {
+			t.Fatalf("Delete(%d) missed", keys[i])
+		}
+	}
+	if ix.Delete(keys[0]) {
+		t.Fatal("double delete")
+	}
+	if ix.Len() != len(keys)/2 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	ix.Compact()
+	if ix.Len() != len(keys)/2 {
+		t.Fatalf("len after compact = %d", ix.Len())
+	}
+	for i, k := range keys {
+		_, ok := ix.Get(k)
+		if ok != (i%2 == 1) {
+			t.Fatalf("Get(%d) = %v after compact", k, ok)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Clustered, 10000, 903)
+	ix, _ := Bulk(dataset.KV(keys), 1024, 128)
+	// Buffered extra inserts.
+	r := rand.New(rand.NewSource(904))
+	extra := map[core.Key]bool{}
+	for len(extra) < 1000 {
+		i := r.Intn(len(keys) - 1)
+		if keys[i]+1 >= keys[i+1] {
+			continue
+		}
+		k := keys[i] + 1 + core.Key(r.Int63n(int64(keys[i+1]-keys[i]-1)))
+		if !extra[k] {
+			ix.Insert(k, 5)
+			extra[k] = true
+		}
+	}
+	all := append([]core.Key(nil), keys...)
+	for k := range extra {
+		all = append(all, k)
+	}
+	sortKeys(all)
+	for _, q := range dataset.Ranges(all, 25, 0.01, 905) {
+		want := core.UpperBound(all, q.Hi) - core.LowerBound(all, q.Lo)
+		var got []core.Key
+		n := ix.Range(q.Lo, q.Hi, func(k core.Key, v core.Value) bool {
+			got = append(got, k)
+			return true
+		})
+		if n != want {
+			t.Fatalf("Range = %d, want %d", n, want)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatal("range out of order")
+			}
+		}
+	}
+}
+
+func sortKeys(ks []core.Key) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+}
+
+// TestConcurrentReadersWriters hammers the index from many goroutines; run
+// with -race to validate the synchronization.
+func TestConcurrentReadersWriters(t *testing.T) {
+	keys, _ := dataset.Keys(dataset.Uniform, 20000, 906)
+	ix, _ := Bulk(dataset.KV(keys), 512, 64)
+	const writers, readers = 4, 4
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(id int) {
+			defer writerWG.Done()
+			r := rand.New(rand.NewSource(int64(907 + id)))
+			for i := 0; i < 20000; i++ {
+				k := core.Key(r.Uint64() >> 8)
+				switch r.Intn(3) {
+				case 0, 1:
+					ix.Insert(k, core.Value(id))
+				case 2:
+					ix.Delete(keys[r.Intn(len(keys))])
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		readerWG.Add(1)
+		go func(id int) {
+			defer readerWG.Done()
+			r := rand.New(rand.NewSource(int64(917 + id)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 100; i++ {
+					ix.Get(keys[r.Intn(len(keys))])
+				}
+				ix.Range(keys[0], keys[100], func(core.Key, core.Value) bool { return true })
+			}
+		}(rd)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+}
+
+func TestConcurrentInsertsAllVisible(t *testing.T) {
+	ix := New(256, 32)
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := core.Key(i*goroutines + id)
+				ix.Insert(k, core.Value(id))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ix.Len() != goroutines*perG {
+		t.Fatalf("len = %d, want %d", ix.Len(), goroutines*perG)
+	}
+	for i := 0; i < goroutines*perG; i++ {
+		if _, ok := ix.Get(core.Key(i)); !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+func TestErrorsAndStats(t *testing.T) {
+	if _, err := Bulk([]core.KV{{Key: 5}, {Key: 1}}, 0, 0); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	ix, err := Bulk(nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Get(1); ok {
+		t.Fatal("empty get")
+	}
+	ix.Insert(1, 2)
+	if v, ok := ix.Get(1); !ok || v != 2 {
+		t.Fatal("insert on empty")
+	}
+	keys, _ := dataset.Keys(dataset.Uniform, 10000, 908)
+	big, _ := Bulk(dataset.KV(keys), 0, 0)
+	st := big.Stats()
+	if st.Count != 10000 || st.Models < 2 || st.DataBytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

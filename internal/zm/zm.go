@@ -1,0 +1,265 @@
+// Package zm implements the ZM-index (Wang et al., MDM 2019): points are
+// projected to one dimension with a Z-order (or Hilbert) space-filling
+// curve and a learned one-dimensional index — here a PGM-index — is built
+// over the curve codes. Range queries decompose the query rectangle into
+// curve intervals, look up each interval in the learned index, and filter
+// the scanned points exactly.
+//
+// Taxonomy: immutable / pure / projected space (Approach 2 in the paper).
+package zm
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/pgm"
+	"github.com/lix-go/lix/internal/sfc"
+)
+
+// CurveKind selects the projection curve.
+type CurveKind string
+
+// Supported curves. Hilbert is 2-D only.
+const (
+	CurveZ       CurveKind = "z"
+	CurveHilbert CurveKind = "hilbert"
+)
+
+// Config parameterizes a build.
+type Config struct {
+	// Bits per dimension for quantization (0 selects the max that fits).
+	Bits uint
+	// Epsilon for the underlying PGM-index (0 selects the PGM default).
+	Epsilon int
+	// Curve selects the projection (empty selects CurveZ).
+	Curve CurveKind
+	// MaxRanges bounds the per-query rectangle decomposition (0 -> 128).
+	MaxRanges int
+}
+
+// Index is an immutable ZM-index.
+type Index struct {
+	cfg    Config
+	dim    int
+	quant  *sfc.Quantizer
+	morton *sfc.Morton
+	hil    *sfc.Hilbert2D
+	codes  []core.Key // sorted curve codes, parallel to pts
+	pts    []core.PV
+	ix     *pgm.Index
+}
+
+// Build constructs a ZM-index over the points (copied and reordered).
+func Build(pvs []core.PV, cfg Config) (*Index, error) {
+	if len(pvs) == 0 {
+		return nil, fmt.Errorf("zm: empty input")
+	}
+	dim := pvs[0].Point.Dim()
+	for i := range pvs {
+		if pvs[i].Point.Dim() != dim {
+			return nil, fmt.Errorf("zm: point %d dim %d, want %d", i, pvs[i].Point.Dim(), dim)
+		}
+	}
+	if cfg.Curve == "" {
+		cfg.Curve = CurveZ
+	}
+	if cfg.Curve == CurveHilbert && dim != 2 {
+		return nil, fmt.Errorf("zm: hilbert curve requires dim 2, got %d", dim)
+	}
+	if cfg.Bits == 0 {
+		cfg.Bits = uint(63 / dim)
+		if cfg.Bits > 20 {
+			cfg.Bits = 20
+		}
+	}
+	if cfg.MaxRanges <= 0 {
+		cfg.MaxRanges = 128
+	}
+	// Bounds: dataset extent with slack for exact data bounds.
+	min := make([]float64, dim)
+	max := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		min[d], max[d] = pvs[0].Point[d], pvs[0].Point[d]
+	}
+	for _, pv := range pvs {
+		for d := 0; d < dim; d++ {
+			if pv.Point[d] < min[d] {
+				min[d] = pv.Point[d]
+			}
+			if pv.Point[d] > max[d] {
+				max[d] = pv.Point[d]
+			}
+		}
+	}
+	for d := 0; d < dim; d++ {
+		if !(max[d] > min[d]) {
+			max[d] = min[d] + 1
+		} else {
+			max[d] += (max[d] - min[d]) * 1e-9 // make the top point interior
+		}
+	}
+	q, err := sfc.NewQuantizer(min, max, cfg.Bits)
+	if err != nil {
+		return nil, err
+	}
+	z := &Index{cfg: cfg, dim: dim, quant: q}
+	switch cfg.Curve {
+	case CurveZ:
+		z.morton, err = sfc.NewMorton(dim, cfg.Bits)
+	case CurveHilbert:
+		z.hil, err = sfc.NewHilbert2D(cfg.Bits)
+	default:
+		return nil, fmt.Errorf("zm: unknown curve %q", cfg.Curve)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Encode, sort by code.
+	type coded struct {
+		code core.Key
+		pv   core.PV
+	}
+	cs := make([]coded, len(pvs))
+	for i, pv := range pvs {
+		cs[i] = coded{code: z.code(pv.Point), pv: pv}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].code < cs[j].code })
+	z.codes = make([]core.Key, len(cs))
+	z.pts = make([]core.PV, len(cs))
+	recs := make([]core.KV, len(cs))
+	for i, c := range cs {
+		z.codes[i] = c.code
+		z.pts[i] = c.pv
+		recs[i] = core.KV{Key: c.code, Value: core.Value(i)}
+	}
+	z.ix, err = pgm.Build(recs, cfg.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+func (z *Index) code(p core.Point) core.Key {
+	cells := z.quant.CellPoint(p)
+	if z.morton != nil {
+		return core.Key(z.morton.Encode(cells))
+	}
+	return core.Key(z.hil.Encode(cells[0], cells[1]))
+}
+
+// Len returns the number of points.
+func (z *Index) Len() int { return len(z.pts) }
+
+// Lookup returns the value of the point equal to p.
+func (z *Index) Lookup(p core.Point) (core.Value, bool) {
+	if p.Dim() != z.dim {
+		return 0, false
+	}
+	c := z.code(p)
+	i := z.ix.LowerBound(c)
+	for ; i < len(z.codes) && z.codes[i] == c; i++ {
+		if z.pts[i].Point.Equal(p) {
+			return z.pts[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Search calls fn for every point in rect; fn returning false stops. It
+// returns points visited and curve intervals scanned (the I/O proxy).
+func (z *Index) Search(rect core.Rect, fn func(core.PV) bool) (visited, intervals int) {
+	if rect.Dim() != z.dim {
+		return 0, 0
+	}
+	min := make([]uint32, z.dim)
+	max := make([]uint32, z.dim)
+	for d := 0; d < z.dim; d++ {
+		min[d] = z.quant.Cell(d, rect.Min[d])
+		max[d] = z.quant.Cell(d, rect.Max[d])
+	}
+	var ivs []sfc.Interval
+	if z.morton != nil {
+		ivs = z.morton.Ranges(min, max, z.cfg.MaxRanges)
+	} else {
+		ivs = z.hil.Ranges([2]uint32{min[0], min[1]}, [2]uint32{max[0], max[1]}, z.cfg.MaxRanges)
+	}
+	for _, iv := range ivs {
+		i := z.ix.LowerBound(core.Key(iv.Lo))
+		for ; i < len(z.codes) && z.codes[i] <= core.Key(iv.Hi); i++ {
+			if rect.Contains(z.pts[i].Point) {
+				visited++
+				if !fn(z.pts[i]) {
+					return visited, len(ivs)
+				}
+			}
+		}
+	}
+	return visited, len(ivs)
+}
+
+// KNN returns the k nearest points to q in ascending distance order, by
+// doubling an axis-aligned search window until the k-th candidate lies
+// within the window's inscribed ball.
+func (z *Index) KNN(q core.Point, k int) []core.PV {
+	if k <= 0 || q.Dim() != z.dim || len(z.pts) == 0 {
+		return nil
+	}
+	if k > len(z.pts) {
+		k = len(z.pts)
+	}
+	// Initial half-width guess from global density.
+	span := 0.0
+	for d := 0; d < z.dim; d++ {
+		s := z.quant.Max[d] - z.quant.Min[d]
+		if s > span {
+			span = s
+		}
+	}
+	w := span * 0.01
+	for {
+		rect := core.Rect{Min: make(core.Point, z.dim), Max: make(core.Point, z.dim)}
+		for d := 0; d < z.dim; d++ {
+			rect.Min[d] = q[d] - w
+			rect.Max[d] = q[d] + w
+		}
+		var cand []core.PV
+		z.Search(rect, func(pv core.PV) bool {
+			cand = append(cand, pv)
+			return true
+		})
+		if len(cand) >= k {
+			sort.Slice(cand, func(i, j int) bool {
+				return q.DistSq(cand[i].Point) < q.DistSq(cand[j].Point)
+			})
+			if q.DistSq(cand[k-1].Point) <= w*w {
+				return cand[:k]
+			}
+		}
+		if w > 2*span {
+			// Window covers everything representable: finish with what we
+			// have (cand holds all points).
+			sort.Slice(cand, func(i, j int) bool {
+				return q.DistSq(cand[i].Point) < q.DistSq(cand[j].Point)
+			})
+			if len(cand) > k {
+				cand = cand[:k]
+			}
+			return cand
+		}
+		w *= 2
+	}
+}
+
+// Stats reports structure statistics.
+func (z *Index) Stats() core.Stats {
+	st := z.ix.Stats()
+	return core.Stats{
+		Name:       "zm-" + string(z.cfg.Curve),
+		Count:      len(z.pts),
+		IndexBytes: st.IndexBytes + 8*len(z.codes),
+		DataBytes:  len(z.pts) * (8*z.dim + 8),
+		Height:     st.Height,
+		Models:     st.Models,
+	}
+}

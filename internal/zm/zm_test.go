@@ -1,0 +1,163 @@
+package zm
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+func bruteCount(pvs []core.PV, rect core.Rect) int {
+	n := 0
+	for _, pv := range pvs {
+		if rect.Contains(pv.Point) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	for _, kind := range dataset.SpatialKinds() {
+		for _, curve := range []CurveKind{CurveZ, CurveHilbert} {
+			pts, _ := dataset.Points(kind, 4000, 2, 1001)
+			pvs := dataset.PV(pts)
+			ix, err := Build(pvs, Config{Curve: curve})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ix.Len() != 4000 {
+				t.Fatalf("%s/%s: len = %d", kind, curve, ix.Len())
+			}
+			for i, pv := range pvs {
+				v, ok := ix.Lookup(pv.Point)
+				if !ok {
+					t.Fatalf("%s/%s: Lookup miss at %d", kind, curve, i)
+				}
+				// Duplicate coordinates may legitimately return another
+				// point's value; verify the value belongs to an equal point.
+				if !pvs[v].Point.Equal(pv.Point) {
+					t.Fatalf("%s/%s: Lookup wrong value", kind, curve)
+				}
+			}
+			if _, ok := ix.Lookup(core.Point{-1, -1}); ok {
+				t.Fatalf("%s/%s: phantom lookup", kind, curve)
+			}
+		}
+	}
+}
+
+func TestSearchMatchesBrute(t *testing.T) {
+	for _, dimCase := range []struct {
+		dim   int
+		curve CurveKind
+	}{{2, CurveZ}, {2, CurveHilbert}, {3, CurveZ}} {
+		pts, _ := dataset.Points(dataset.SOSMLike, 5000, dimCase.dim, 1002)
+		pvs := dataset.PV(pts)
+		ix, err := Build(pvs, Config{Curve: dimCase.curve})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range dataset.RectQueries(pts, 30, 0.01, 1003) {
+			want := bruteCount(pvs, q)
+			got, ivs := ix.Search(q, func(core.PV) bool { return true })
+			if got != want {
+				t.Fatalf("dim=%d curve=%s q%d: got %d, want %d", dimCase.dim, dimCase.curve, qi, got, want)
+			}
+			if ivs <= 0 {
+				t.Fatal("no intervals")
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBrute(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 3000, 2, 1004)
+	pvs := dataset.PV(pts)
+	ix, _ := Build(pvs, Config{})
+	for _, k := range []int{1, 10, 100} {
+		for qi, q := range dataset.KNNQueries(pts, 15, 1005) {
+			ds := make([]float64, len(pvs))
+			for i, pv := range pvs {
+				ds[i] = q.DistSq(pv.Point)
+			}
+			sort.Float64s(ds)
+			got := ix.KNN(q, k)
+			if len(got) != k {
+				t.Fatalf("q%d k=%d: len %d", qi, k, len(got))
+			}
+			for i, pv := range got {
+				if d := q.DistSq(pv.Point); d != ds[i] {
+					t.Fatalf("q%d k=%d i=%d: %g want %g", qi, k, i, d, ds[i])
+				}
+			}
+		}
+	}
+	if got := ix.KNN(core.Point{0, 0}, 5000); len(got) != 3000 {
+		t.Fatalf("kNN beyond size = %d", len(got))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Build(nil, Config{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+	pts3, _ := dataset.Points(dataset.SUniform, 10, 3, 1)
+	if _, err := Build(dataset.PV(pts3), Config{Curve: CurveHilbert}); err == nil {
+		t.Fatal("3-D hilbert accepted")
+	}
+	if _, err := Build([]core.PV{{Point: core.Point{1}}, {Point: core.Point{1, 2}}}, Config{}); err == nil {
+		t.Fatal("mixed dims accepted")
+	}
+	if _, err := Build(dataset.PV(pts3), Config{Curve: "bogus"}); err == nil {
+		t.Fatal("bogus curve accepted")
+	}
+}
+
+func TestDegenerateSinglePoint(t *testing.T) {
+	ix, err := Build([]core.PV{{Point: core.Point{5, 5}, Value: 9}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ix.Lookup(core.Point{5, 5}); !ok || v != 9 {
+		t.Fatal("single point lookup")
+	}
+	rect, _ := core.NewRect(core.Point{0, 0}, core.Point{10, 10})
+	n, _ := ix.Search(rect, func(core.PV) bool { return true })
+	if n != 1 {
+		t.Fatalf("single point search = %d", n)
+	}
+}
+
+func TestStatsAndBudget(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SOSMLike, 5000, 2, 1006)
+	ix, _ := Build(dataset.PV(pts), Config{MaxRanges: 4})
+	st := ix.Stats()
+	if st.Count != 5000 || st.IndexBytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Tiny interval budget must still be correct (more scanning).
+	pvs := dataset.PV(pts)
+	for _, q := range dataset.RectQueries(pts, 10, 0.01, 1007) {
+		want := bruteCount(pvs, q)
+		got, ivs := ix.Search(q, func(core.PV) bool { return true })
+		if got != want {
+			t.Fatalf("budget search: got %d want %d", got, want)
+		}
+		if ivs > 4 {
+			t.Fatalf("interval budget exceeded: %d", ivs)
+		}
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	pts, _ := dataset.Points(dataset.SUniform, 1000, 2, 1008)
+	ix, _ := Build(dataset.PV(pts), Config{})
+	all, _ := core.NewRect(core.Point{0, 0}, core.Point{dataset.Extent, dataset.Extent})
+	count := 0
+	ix.Search(all, func(core.PV) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop = %d", count)
+	}
+}
