@@ -11,6 +11,13 @@ import (
 // hostile key patterns that have historically broken learned indexes:
 // float64-colliding keys, extreme magnitudes, constant runs, and single
 // outliers that wreck global models.
+//
+// The registry-driven conformance suite (internal/conform) applies these
+// same shapes — plus differential op streams against a trivially-correct
+// oracle — to every registered index; see internal/conform/corpus.go. The
+// ad-hoc hostile-pattern and cross-index differential tests that used to
+// live here were subsumed by it. Only the checks with no conform
+// counterpart remain in this file.
 func hostilePatterns() map[string][]lix.Key {
 	out := map[string][]lix.Key{}
 
@@ -55,78 +62,6 @@ func hostilePatterns() map[string][]lix.Key {
 	return out
 }
 
-func TestStatic1DHostilePatterns(t *testing.T) {
-	for patName, keys := range hostilePatterns() {
-		recs := make([]lix.KV, len(keys))
-		for i, k := range keys {
-			recs[i] = lix.KV{Key: k, Value: lix.Value(i)}
-		}
-		ref := lix.NewSortedArray(recs)
-		for _, kind := range lix.Static1DKinds() {
-			ix, err := lix.Build1D(kind, recs)
-			if err != nil {
-				t.Fatalf("%s/%s: build: %v", patName, kind, err)
-			}
-			// Every stored key must resolve.
-			for i, k := range keys {
-				v, ok := ix.Get(k)
-				if !ok || v != lix.Value(i) {
-					t.Fatalf("%s/%s: Get(%d) = %d,%v want %d", patName, kind, k, v, ok, i)
-				}
-			}
-			// Probes around every key agree with the reference.
-			for _, k := range keys {
-				for _, d := range []int64{-1, 1} {
-					probe := lix.Key(int64(k) + d)
-					v1, ok1 := ix.Get(probe)
-					v2, ok2 := ref.Get(probe)
-					if ok1 != ok2 || (ok1 && v1 != v2) {
-						t.Fatalf("%s/%s: probe %d disagrees", patName, kind, probe)
-					}
-				}
-			}
-		}
-	}
-}
-
-func TestMutable1DHostilePatterns(t *testing.T) {
-	for patName, keys := range hostilePatterns() {
-		for _, kind := range lix.Mutable1DKinds() {
-			ix, err := lix.BuildMutable1D(kind)
-			if err != nil {
-				t.Fatal(err)
-			}
-			// Insert in a scrambled order.
-			r := rand.New(rand.NewSource(1))
-			perm := r.Perm(len(keys))
-			for _, i := range perm {
-				ix.Insert(keys[i], lix.Value(i))
-			}
-			if ix.Len() != len(keys) {
-				t.Fatalf("%s/%s: len = %d want %d", patName, kind, ix.Len(), len(keys))
-			}
-			for i, k := range keys {
-				v, ok := ix.Get(k)
-				if !ok || v != lix.Value(i) {
-					t.Fatalf("%s/%s: Get(%d) = %d,%v want %d", patName, kind, k, v, ok, i)
-				}
-			}
-			// Delete every other key, re-check.
-			for i := 0; i < len(keys); i += 2 {
-				if !ix.Delete(keys[i]) {
-					t.Fatalf("%s/%s: Delete(%d) missed", patName, kind, keys[i])
-				}
-			}
-			for i, k := range keys {
-				_, ok := ix.Get(k)
-				if ok != (i%2 == 1) {
-					t.Fatalf("%s/%s: Get(%d) after delete = %v", patName, kind, k, ok)
-				}
-			}
-		}
-	}
-}
-
 // TestUnsortedRejected verifies every validating builder rejects unsorted
 // input instead of silently building a broken index.
 func TestUnsortedRejected(t *testing.T) {
@@ -137,133 +72,6 @@ func TestUnsortedRejected(t *testing.T) {
 		}
 		if _, err := lix.Build1D(kind, bad); err == nil {
 			t.Fatalf("%s accepted unsorted input", kind)
-		}
-	}
-}
-
-// TestCrossIndexDifferential drives every mutable index with one random
-// operation stream and verifies they never disagree with each other.
-func TestCrossIndexDifferential(t *testing.T) {
-	kinds := lix.Mutable1DKinds()
-	ixs := make([]lix.MutableIndex, len(kinds))
-	for i, kind := range kinds {
-		ix, err := lix.BuildMutable1D(kind)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ixs[i] = ix
-	}
-	r := rand.New(rand.NewSource(99))
-	for op := 0; op < 4000; op++ {
-		k := lix.Key(r.Intn(1000)) * 1000003 // spread keys out
-		switch r.Intn(4) {
-		case 0, 1:
-			v := lix.Value(r.Uint64())
-			for _, ix := range ixs {
-				ix.Insert(k, v)
-			}
-		case 2:
-			first := ixs[0].Delete(k)
-			for i, ix := range ixs[1:] {
-				if got := ix.Delete(k); got != first {
-					t.Fatalf("op %d: %s.Delete(%d) = %v, %s = %v",
-						op, kinds[i+1], k, got, kinds[0], first)
-				}
-			}
-		case 3:
-			v0, ok0 := ixs[0].Get(k)
-			for i, ix := range ixs[1:] {
-				v, ok := ix.Get(k)
-				if ok != ok0 || (ok && v != v0) {
-					t.Fatalf("op %d: %s.Get(%d) = %d,%v, %s = %d,%v",
-						op, kinds[i+1], k, v, ok, kinds[0], v0, ok0)
-				}
-			}
-		}
-	}
-	// Final: all agree on Len and full ordered contents.
-	for i := 1; i < len(ixs); i++ {
-		if ixs[i].Len() != ixs[0].Len() {
-			t.Fatalf("%s.Len=%d, %s.Len=%d", kinds[i], ixs[i].Len(), kinds[0], ixs[0].Len())
-		}
-	}
-	var refKeys []lix.Key
-	var refVals []lix.Value
-	ixs[0].Range(0, ^lix.Key(0), func(k lix.Key, v lix.Value) bool {
-		refKeys = append(refKeys, k)
-		refVals = append(refVals, v)
-		return true
-	})
-	for i := 1; i < len(ixs); i++ {
-		j := 0
-		ok := true
-		ixs[i].Range(0, ^lix.Key(0), func(k lix.Key, v lix.Value) bool {
-			if j >= len(refKeys) || refKeys[j] != k || refVals[j] != v {
-				ok = false
-				return false
-			}
-			j++
-			return true
-		})
-		if !ok || j != len(refKeys) {
-			t.Fatalf("%s full scan disagrees with %s", kinds[i], kinds[0])
-		}
-	}
-}
-
-// TestSpatialDifferentialAfterMutation drives the mutable spatial indexes
-// with the same insert/delete stream and compares range results.
-func TestSpatialDifferentialAfterMutation(t *testing.T) {
-	kinds := []string{"rtree", "quadtree", "grid", "lisa"}
-	r := rand.New(rand.NewSource(7))
-	var initial []lix.PV
-	for i := 0; i < 2000; i++ {
-		initial = append(initial, lix.PV{
-			Point: lix.Point{float64(r.Intn(1 << 20)), float64(r.Intn(1 << 20))},
-			Value: lix.Value(i),
-		})
-	}
-	ixs := make([]lix.MutableSpatialIndex, len(kinds))
-	for i, kind := range kinds {
-		ixAny, err := lix.BuildSpatial(kind, initial)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ixs[i] = ixAny.(lix.MutableSpatialIndex)
-	}
-	// Mutate: insert 1000, delete 500 of the originals.
-	for i := 0; i < 1000; i++ {
-		p := lix.Point{float64(r.Intn(1 << 20)), float64(r.Intn(1 << 20))}
-		v := lix.Value(10000 + i)
-		for _, ix := range ixs {
-			if err := ix.Insert(p, v); err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-	for i := 0; i < 500; i++ {
-		for j, ix := range ixs {
-			if !ix.Delete(initial[i].Point, initial[i].Value) {
-				t.Fatalf("%s: delete %d missed", kinds[j], i)
-			}
-		}
-	}
-	// Compare window queries.
-	for q := 0; q < 30; q++ {
-		x, y := float64(r.Intn(1<<20)), float64(r.Intn(1<<20))
-		w := float64(r.Intn(1<<17) + 1000)
-		rect, err := lix.NewRect(lix.Point{x - w, y - w}, lix.Point{x + w, y + w})
-		if err != nil {
-			t.Fatal(err)
-		}
-		counts := make([]int, len(ixs))
-		for i, ix := range ixs {
-			counts[i], _ = ix.Search(rect, func(lix.PV) bool { return true })
-		}
-		for i := 1; i < len(counts); i++ {
-			if counts[i] != counts[0] {
-				t.Fatalf("query %d: %s=%d, %s=%d", q, kinds[i], counts[i], kinds[0], counts[0])
-			}
 		}
 	}
 }

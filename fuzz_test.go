@@ -7,6 +7,7 @@ import (
 	lix "github.com/lix-go/lix"
 	"github.com/lix-go/lix/internal/core"
 	"github.com/lix-go/lix/internal/segment"
+	"github.com/lix-go/lix/internal/sfc"
 )
 
 // FuzzLearnedLowerBound feeds arbitrary byte strings decoded as key sets
@@ -117,6 +118,176 @@ func FuzzExponentialSearch(f *testing.F) {
 		got := core.ExponentialSearch(keys, core.Key(probe), start)
 		if got != want {
 			t.Fatalf("ExponentialSearch(%d, start=%d) = %d, want %d", probe, start, got, want)
+		}
+	})
+}
+
+// FuzzSFCRangeDecompose feeds arbitrary rectangles through the Morton and
+// Hilbert range decompositions and checks the covering contract both ways:
+// every cell of the rectangle is covered by some interval, and walking the
+// intervals and filtering decoded cells with ContainsCell reconstructs the
+// rectangle's cell set exactly once (intervals must not overlap).
+//
+// Run with: go test -fuzz=FuzzSFCRangeDecompose -fuzztime=30s .
+func FuzzSFCRangeDecompose(f *testing.F) {
+	f.Add(uint8(4), uint8(1), uint8(2), uint8(10), uint8(12), uint8(8))
+	f.Add(uint8(5), uint8(0), uint8(0), uint8(31), uint8(31), uint8(1))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint8(4))
+	f.Fuzz(func(t *testing.T, bitsRaw, x0, y0, x1, y1, budgetRaw uint8) {
+		bits := uint(bitsRaw)%5 + 1 // 2..32 cells per dim: intervals stay enumerable
+		side := uint32(1) << bits
+		min := []uint32{uint32(x0) % side, uint32(y0) % side}
+		max := []uint32{uint32(x1) % side, uint32(y1) % side}
+		for d := 0; d < 2; d++ {
+			if min[d] > max[d] {
+				min[d], max[d] = max[d], min[d]
+			}
+		}
+		maxRanges := int(budgetRaw)%16 + 1
+
+		morton, err := sfc.NewMorton(2, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hilbert, err := sfc.NewHilbert2D(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		curves := map[string]struct {
+			ranges  func() []sfc.Interval
+			encode  func(x, y uint32) uint64
+			decode  func(code uint64) (x, y uint32)
+			maxCode uint64
+		}{
+			"morton": {
+				ranges: func() []sfc.Interval { return morton.Ranges(min, max, maxRanges) },
+				encode: func(x, y uint32) uint64 { return morton.Encode([]uint32{x, y}) },
+				decode: func(code uint64) (x, y uint32) {
+					c := morton.Decode(code)
+					return c[0], c[1]
+				},
+				maxCode: morton.MaxCode(),
+			},
+			"hilbert": {
+				ranges: func() []sfc.Interval {
+					return hilbert.Ranges([2]uint32{min[0], min[1]}, [2]uint32{max[0], max[1]}, maxRanges)
+				},
+				encode:  hilbert.Encode,
+				decode:  func(code uint64) (x, y uint32) { return hilbert.Decode(code) },
+				maxCode: hilbert.MaxCode(),
+			},
+		}
+		for name, c := range curves {
+			ivs := c.ranges()
+			if len(ivs) > maxRanges {
+				t.Fatalf("%s: %d intervals exceed budget %d", name, len(ivs), maxRanges)
+			}
+			for i, iv := range ivs {
+				if iv.Lo > iv.Hi || iv.Hi > c.maxCode {
+					t.Fatalf("%s: malformed interval %d: [%d, %d]", name, i, iv.Lo, iv.Hi)
+				}
+				if i > 0 && iv.Lo <= ivs[i-1].Hi {
+					t.Fatalf("%s: intervals %d and %d not disjoint ascending", name, i-1, i)
+				}
+			}
+			// Direction 1: every rectangle cell's code lies in some interval.
+			for x := min[0]; x <= max[0]; x++ {
+				for y := min[1]; y <= max[1]; y++ {
+					code := c.encode(x, y)
+					found := false
+					for _, iv := range ivs {
+						if code >= iv.Lo && code <= iv.Hi {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%s: cell (%d,%d) code %d not covered", name, x, y, code)
+					}
+				}
+			}
+			// Direction 2: walking the intervals and filtering by
+			// ContainsCell visits exactly the rectangle's cells, once each.
+			want := int((max[0] - min[0] + 1) * (max[1] - min[1] + 1))
+			got := 0
+			for _, iv := range ivs {
+				for code := iv.Lo; ; code++ {
+					x, y := c.decode(code)
+					if sfc.ContainsCell([]uint32{x, y}, min, max) {
+						got++
+					}
+					if code == iv.Hi {
+						break
+					}
+				}
+			}
+			if got != want {
+				t.Fatalf("%s: interval walk yielded %d in-rect cells, want %d", name, got, want)
+			}
+		}
+	})
+}
+
+// FuzzPLASegments checks the structural contract of both PLA builders on
+// arbitrary monotone inputs: segments tile the input contiguously, their
+// key ranges are consistent and ascending, Locate finds the covering
+// segment for every distinct key, and the ε bound holds.
+//
+// Run with: go test -fuzz=FuzzPLASegments -fuzztime=30s .
+func FuzzPLASegments(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200, 201, 202}, uint8(4))
+	f.Add([]byte{0, 0, 0, 0}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, epsRaw uint8) {
+		if len(raw) == 0 {
+			return
+		}
+		eps := float64(epsRaw%64) + 1
+		xs := make([]float64, 0, len(raw))
+		cur := 0.0
+		for _, b := range raw {
+			cur += float64(b)
+			xs = append(xs, cur)
+		}
+		distinct, firstPos := segment.Dedup(xs)
+		for name, build := range map[string]func([]float64, []float64, float64) []segment.Segment{
+			"anchored": segment.BuildAnchored,
+			"optimal":  segment.BuildOptimal,
+		} {
+			segs := build(distinct, firstPos, eps)
+			if len(segs) == 0 {
+				t.Fatalf("%s: no segments", name)
+			}
+			prevEnd := 0
+			for i, s := range segs {
+				if s.StartIdx != prevEnd {
+					t.Fatalf("%s: segment %d starts at %d, want %d (gap or overlap)", name, i, s.StartIdx, prevEnd)
+				}
+				if s.EndIdx <= s.StartIdx {
+					t.Fatalf("%s: segment %d empty: [%d, %d)", name, i, s.StartIdx, s.EndIdx)
+				}
+				if s.FirstKey != distinct[s.StartIdx] || s.LastKey != distinct[s.EndIdx-1] {
+					t.Fatalf("%s: segment %d key range [%g, %g] disagrees with covered keys [%g, %g]",
+						name, i, s.FirstKey, s.LastKey, distinct[s.StartIdx], distinct[s.EndIdx-1])
+				}
+				if i > 0 && s.FirstKey <= segs[i-1].LastKey {
+					t.Fatalf("%s: segment %d FirstKey %g not above previous LastKey %g",
+						name, i, s.FirstKey, segs[i-1].LastKey)
+				}
+				prevEnd = s.EndIdx
+			}
+			if prevEnd != len(distinct) {
+				t.Fatalf("%s: segments tile %d keys, input has %d", name, prevEnd, len(distinct))
+			}
+			for i, x := range distinct {
+				si := segment.Locate(segs, x)
+				if s := segs[si]; i < s.StartIdx || i >= s.EndIdx {
+					t.Fatalf("%s: Locate(%g) = segment %d [%d, %d), key is at %d",
+						name, x, si, s.StartIdx, s.EndIdx, i)
+				}
+			}
+			if e := segment.MaxError(distinct, firstPos, segs); e > eps+1e-6 {
+				t.Fatalf("%s: error %g > eps %g", name, e, eps)
+			}
 		}
 	})
 }

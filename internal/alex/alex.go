@@ -8,10 +8,11 @@
 // bounds; the full cost model is simplified to those density triggers,
 // which this package documents as the delta from the original system.
 //
-// Gapped-array invariant: every slot holds a key; gap slots duplicate the
-// key of the nearest occupied slot to their left (leading gaps duplicate
-// the first occupied key). The slot array is therefore always sorted and
-// exponential search from the model's predicted slot is exact.
+// Gapped-array invariant: every slot holds a key; (re)builds write each gap
+// slot with the key of the nearest occupied slot to its left, and later
+// shifts may move those filler keys around but never out of order. The slot
+// array is therefore always sorted and exponential search from the model's
+// predicted slot is exact (internal/alex/invariants.go checks this).
 package alex
 
 import (

@@ -1,0 +1,122 @@
+package btree
+
+import (
+	"fmt"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// CheckInvariants verifies the structural invariants of the B+-tree:
+// separator keys route correctly (every key in children[i] is < keys[i] and
+// every key in children[i+1] is >= keys[i] — deletes may leave a separator
+// above the child minimum, so exact equality is not required), every node
+// respects the order bound, leaves are strictly sorted and at uniform
+// depth, the leaf chain starting at t.first enumerates exactly the tree's
+// leaves in order with globally ascending keys, and size matches the record
+// count. It is O(n) and intended for tests.
+func (t *Tree) CheckInvariants() error {
+	var chain []*leaf
+	leafDepth := -1
+	total := 0
+
+	// walk validates the subtree at n, returning its key range (ok=false for
+	// an empty subtree, only legal when the root is an empty leaf).
+	var walk func(n node, depth int) (min, max core.Key, ok bool, err error)
+	walk = func(n node, depth int) (core.Key, core.Key, bool, error) {
+		switch v := n.(type) {
+		case *leaf:
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return 0, 0, false, fmt.Errorf("btree: leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			if len(v.keys) != len(v.vals) {
+				return 0, 0, false, fmt.Errorf("btree: leaf keys/vals mismatch %d != %d", len(v.keys), len(v.vals))
+			}
+			if len(v.keys) > t.order {
+				return 0, 0, false, fmt.Errorf("btree: leaf holds %d keys > order %d", len(v.keys), t.order)
+			}
+			if depth > 0 && len(v.keys) == 0 {
+				return 0, 0, false, fmt.Errorf("btree: empty non-root leaf")
+			}
+			for i := 1; i < len(v.keys); i++ {
+				if v.keys[i] <= v.keys[i-1] {
+					return 0, 0, false, fmt.Errorf("btree: leaf keys not strictly ascending at %d", i)
+				}
+			}
+			chain = append(chain, v)
+			total += len(v.keys)
+			if len(v.keys) == 0 {
+				return 0, 0, false, nil
+			}
+			return v.keys[0], v.keys[len(v.keys)-1], true, nil
+		case *inner:
+			if len(v.children) != len(v.keys)+1 {
+				return 0, 0, false, fmt.Errorf("btree: inner has %d children for %d keys", len(v.children), len(v.keys))
+			}
+			if len(v.keys) == 0 {
+				return 0, 0, false, fmt.Errorf("btree: inner node with no separator keys")
+			}
+			if len(v.keys) > t.order {
+				return 0, 0, false, fmt.Errorf("btree: inner holds %d keys > order %d", len(v.keys), t.order)
+			}
+			for i := 1; i < len(v.keys); i++ {
+				if v.keys[i] <= v.keys[i-1] {
+					return 0, 0, false, fmt.Errorf("btree: inner keys not strictly ascending at %d", i)
+				}
+			}
+			var lo, hi core.Key
+			for ci, child := range v.children {
+				cMin, cMax, ok, err := walk(child, depth+1)
+				if err != nil {
+					return 0, 0, false, err
+				}
+				if !ok {
+					return 0, 0, false, fmt.Errorf("btree: empty subtree under inner node")
+				}
+				if ci > 0 && cMin < v.keys[ci-1] {
+					return 0, 0, false, fmt.Errorf("btree: child %d min %d below separator %d", ci, cMin, v.keys[ci-1])
+				}
+				if ci < len(v.keys) && cMax >= v.keys[ci] {
+					return 0, 0, false, fmt.Errorf("btree: child %d max %d not below separator %d", ci, cMax, v.keys[ci])
+				}
+				if ci == 0 {
+					lo = cMin
+				}
+				hi = cMax
+			}
+			return lo, hi, true, nil
+		}
+		return 0, 0, false, fmt.Errorf("btree: unknown node type %T", n)
+	}
+	if _, _, _, err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if total != t.size {
+		return fmt.Errorf("btree: size=%d but tree holds %d records", t.size, total)
+	}
+	// The next-pointer chain from t.first must visit exactly the leaves the
+	// tree walk found, left to right, with globally ascending keys.
+	lf := t.first
+	var last core.Key
+	seen := false
+	for i := 0; ; i++ {
+		if lf == nil {
+			if i != len(chain) {
+				return fmt.Errorf("btree: leaf chain has %d leaves, tree has %d", i, len(chain))
+			}
+			break
+		}
+		if i >= len(chain) || lf != chain[i] {
+			return fmt.Errorf("btree: leaf chain diverges from tree order at leaf %d", i)
+		}
+		for _, k := range lf.keys {
+			if seen && k <= last {
+				return fmt.Errorf("btree: leaf chain keys not globally ascending at %d", k)
+			}
+			seen, last = true, k
+		}
+		lf = lf.next
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package conform
+
+import (
+	"sort"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// oracle1D is the trivially-correct reference for the one-dimensional
+// indexes: a sorted slice with map semantics (one value per key, inserts
+// upsert). Every operation is implemented by the most obvious O(n) or
+// O(log n) code so that a divergence always indicts the index under test.
+type oracle1D struct {
+	recs []core.KV // sorted ascending by key, distinct
+}
+
+func newOracle1D(recs []core.KV) *oracle1D {
+	o := &oracle1D{recs: append([]core.KV(nil), recs...)}
+	return o
+}
+
+func (o *oracle1D) find(k core.Key) (int, bool) {
+	i := sort.Search(len(o.recs), func(i int) bool { return o.recs[i].Key >= k })
+	return i, i < len(o.recs) && o.recs[i].Key == k
+}
+
+func (o *oracle1D) Insert(k core.Key, v core.Value) {
+	i, ok := o.find(k)
+	if ok {
+		o.recs[i].Value = v
+		return
+	}
+	o.recs = append(o.recs, core.KV{})
+	copy(o.recs[i+1:], o.recs[i:])
+	o.recs[i] = core.KV{Key: k, Value: v}
+}
+
+func (o *oracle1D) Delete(k core.Key) bool {
+	i, ok := o.find(k)
+	if !ok {
+		return false
+	}
+	o.recs = append(o.recs[:i], o.recs[i+1:]...)
+	return true
+}
+
+func (o *oracle1D) Get(k core.Key) (core.Value, bool) {
+	i, ok := o.find(k)
+	if !ok {
+		return 0, false
+	}
+	return o.recs[i].Value, true
+}
+
+func (o *oracle1D) Len() int { return len(o.recs) }
+
+// Range visits records with lo <= key <= hi ascending; fn returning false
+// stops the scan. The record on which fn stops counts as visited — the
+// contract every lix.Index implementation must share.
+func (o *oracle1D) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	i, _ := o.find(lo)
+	count := 0
+	for ; i < len(o.recs) && o.recs[i].Key <= hi; i++ {
+		count++
+		if !fn(o.recs[i].Key, o.recs[i].Value) {
+			break
+		}
+	}
+	return count
+}
+
+// ---------------------------------------------------------------------------
+// Spatial oracle
+// ---------------------------------------------------------------------------
+
+// spatialOracle is the brute-force reference for spatial indexes: an
+// unordered multiset of point/value records scanned in full for every
+// query.
+type spatialOracle struct {
+	pvs []core.PV
+}
+
+func newSpatialOracle(pvs []core.PV) *spatialOracle {
+	o := &spatialOracle{pvs: make([]core.PV, len(pvs))}
+	for i, pv := range pvs {
+		o.pvs[i] = core.PV{Point: pv.Point.Clone(), Value: pv.Value}
+	}
+	return o
+}
+
+func (o *spatialOracle) Insert(p core.Point, v core.Value) {
+	o.pvs = append(o.pvs, core.PV{Point: p.Clone(), Value: v})
+}
+
+// Delete removes one stored record with point equal to p and matching
+// value, reporting whether one existed.
+func (o *spatialOracle) Delete(p core.Point, v core.Value) bool {
+	for i := range o.pvs {
+		if o.pvs[i].Value == v && o.pvs[i].Point.Equal(p) {
+			o.pvs = append(o.pvs[:i], o.pvs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (o *spatialOracle) Len() int { return len(o.pvs) }
+
+// LookupValues returns every value stored under a point equal to p.
+// Implementations may return any one of them from Lookup, so the checker
+// compares membership, not a single value.
+func (o *spatialOracle) LookupValues(p core.Point) []core.Value {
+	var out []core.Value
+	for i := range o.pvs {
+		if o.pvs[i].Point.Equal(p) {
+			out = append(out, o.pvs[i].Value)
+		}
+	}
+	return out
+}
+
+// SearchValues returns the values of every record inside rect (a multiset:
+// duplicate values appear as often as they are stored).
+func (o *spatialOracle) SearchValues(rect core.Rect) []core.Value {
+	var out []core.Value
+	for i := range o.pvs {
+		if rect.Contains(o.pvs[i].Point) {
+			out = append(out, o.pvs[i].Value)
+		}
+	}
+	return out
+}
+
+// KNNDistSq returns the squared distances of the k nearest stored points to
+// q, ascending. Ties make the identity of the k-th neighbor ambiguous, so
+// conformance is checked on the distance multiset, which is unique.
+func (o *spatialOracle) KNNDistSq(q core.Point, k int) []float64 {
+	ds := make([]float64, len(o.pvs))
+	for i := range o.pvs {
+		ds[i] = q.DistSq(o.pvs[i].Point)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}

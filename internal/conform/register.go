@@ -1,0 +1,219 @@
+package conform
+
+import (
+	lix "github.com/lix-go/lix"
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+	"github.com/lix-go/lix/internal/rtree"
+)
+
+// This file registers every index constructor of the public façade with
+// the conformance registry. A new index opts in by adding one Register
+// call with its capability flags; the differential suite, the edge-case
+// corpus and the invariant sweep then cover it automatically.
+
+// mutable1D registers a mutable 1-D factory whose builder starts empty and
+// is preloaded by per-record inserts (the path a live system exercises).
+func mutable1D(name string, mk func() lix.MutableIndex) {
+	Register(Factory{
+		Name: name,
+		Caps: Caps{Mutable: true, AllowsEmpty: true},
+		Build1D: func(recs []core.KV) (Index, error) {
+			ix := mk()
+			for _, r := range recs {
+				ix.Insert(r.Key, r.Value)
+			}
+			return ix, nil
+		},
+	})
+}
+
+// static1D registers a read-only 1-D factory built over sorted records.
+func static1D(name string, allowsEmpty bool, build func(recs []core.KV) (lix.Index, error)) {
+	Register(Factory{
+		Name: name,
+		Caps: Caps{AllowsEmpty: allowsEmpty},
+		Build1D: func(recs []core.KV) (Index, error) {
+			ix, err := build(recs)
+			if err != nil {
+				return nil, err
+			}
+			return ix, nil
+		},
+	})
+}
+
+func init() {
+	// Baselines.
+	static1D("sorted-array", true, func(recs []core.KV) (lix.Index, error) {
+		return lix.NewSortedArray(recs), nil
+	})
+	mutable1D("btree", func() lix.MutableIndex { return lix.NewBTree(0) })
+	mutable1D("skiplist", func() lix.MutableIndex { return lix.NewSkipList(42) })
+	mutable1D("skiplist-learned", func() lix.MutableIndex { return lix.NewLearnedSkipList(42, 0) })
+
+	// Learned 1-D, static builders.
+	static1D("rmi", true, func(recs []core.KV) (lix.Index, error) {
+		return lix.NewRMI(recs, lix.RMIConfig{})
+	})
+	static1D("rmi-hybrid", true, func(recs []core.KV) (lix.Index, error) {
+		return lix.NewHybridRMI(recs, lix.RMIConfig{}, 64)
+	})
+	static1D("pgm", true, func(recs []core.KV) (lix.Index, error) {
+		return lix.NewPGM(recs, 0)
+	})
+	static1D("radixspline", true, func(recs []core.KV) (lix.Index, error) {
+		return lix.NewRadixSpline(recs, 0, 0)
+	})
+	static1D("histtree", true, func(recs []core.KV) (lix.Index, error) {
+		return lix.NewHistTree(recs, 0, 0)
+	})
+
+	// Learned 1-D, updatable.
+	mutable1D("alex", func() lix.MutableIndex { return lix.NewALEX() })
+	mutable1D("lipp", func() lix.MutableIndex { return lix.NewLIPP() })
+	mutable1D("pgm-dynamic", func() lix.MutableIndex { return lix.NewDynamicPGM(0, 64) })
+	mutable1D("fiting", func() lix.MutableIndex { return lix.NewFITingTree(0, 0) })
+	mutable1D("learned-lsm", func() lix.MutableIndex { return lix.NewLearnedLSM(lix.LSMConfig{}) })
+	mutable1D("xindex", func() lix.MutableIndex {
+		// Small groups/deltas so 5k-op workloads exercise compaction and
+		// splits, not just the delta buffer.
+		return lix.NewXIndex(512, 64)
+	})
+}
+
+// mutableSpatial registers a mutable spatial factory preloaded by inserts.
+func mutableSpatial(name string, dims int, mk func() (lix.MutableSpatialIndex, error)) {
+	Register(Factory{
+		Name: name,
+		Caps: Caps{Mutable: true, Spatial: true, KNN: true, AllowsEmpty: true, Dims: dims},
+		BuildSpatial: func(pvs []core.PV) (SpatialIndex, error) {
+			ix, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			for _, pv := range pvs {
+				if err := ix.Insert(pv.Point, pv.Value); err != nil {
+					return nil, err
+				}
+			}
+			return ix, nil
+		},
+	})
+}
+
+// staticSpatial registers a read-only spatial factory built over points.
+func staticSpatial(name string, knn bool, dims int, build func(pvs []core.PV) (lix.SpatialIndex, error)) {
+	Register(Factory{
+		Name: name,
+		Caps: Caps{Spatial: true, KNN: knn, Dims: dims},
+		BuildSpatial: func(pvs []core.PV) (SpatialIndex, error) {
+			ix, err := build(pvs)
+			if err != nil {
+				return nil, err
+			}
+			return ix, nil
+		},
+	})
+}
+
+// spatialBounds is the dataset extent convention shared with BuildSpatial.
+func spatialBounds(dim int) core.Rect {
+	min := make(core.Point, dim)
+	max := make(core.Point, dim)
+	for d := 0; d < dim; d++ {
+		max[d] = dataset.Extent
+	}
+	return core.Rect{Min: min, Max: max}
+}
+
+// learnedRTree adapts *rtree.Hybrid (Search/Stats only) to SpatialIndex.
+type learnedRTree struct {
+	*rtree.Hybrid
+	n int
+}
+
+func (h learnedRTree) Len() int { return h.n }
+
+func (h learnedRTree) Lookup(p core.Point) (core.Value, bool) {
+	var out core.Value
+	found := false
+	h.PointSearch(p, func(pv core.PV) bool {
+		out, found = pv.Value, true
+		return false
+	})
+	return out, found
+}
+
+func init() {
+	// Spatial baselines.
+	Register(Factory{
+		Name: "rtree",
+		Caps: Caps{Mutable: true, Spatial: true, KNN: true, AllowsEmpty: true},
+		BuildSpatial: func(pvs []core.PV) (SpatialIndex, error) {
+			ix := lix.NewRTree(0)
+			for _, pv := range pvs {
+				if err := ix.Insert(pv.Point, pv.Value); err != nil {
+					return nil, err
+				}
+			}
+			return ix, nil
+		},
+	})
+	staticSpatial("rtree-bulk", true, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
+		return lix.BulkRTree(0, pvs)
+	})
+	staticSpatial("kdtree", true, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
+		return lix.BulkKDTree(pvs)
+	})
+	mutableSpatial("quadtree", 2, func() (lix.MutableSpatialIndex, error) {
+		return lix.NewQuadtree(spatialBounds(2), 0)
+	})
+	mutableSpatial("grid", 2, func() (lix.MutableSpatialIndex, error) {
+		return lix.NewUniformGrid(spatialBounds(2), 32)
+	})
+
+	// Learned spatial.
+	staticSpatial("zm", true, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
+		return lix.NewZMIndex(pvs, lix.ZMConfig{})
+	})
+	staticSpatial("zm-hilbert", true, 2, func(pvs []core.PV) (lix.SpatialIndex, error) {
+		return lix.NewZMIndex(pvs, lix.ZMConfig{Curve: lix.CurveHilbert})
+	})
+	staticSpatial("mlindex", true, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
+		return lix.NewMLIndex(pvs, lix.MLIndexConfig{})
+	})
+	staticSpatial("flood", false, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
+		dim := 2
+		if len(pvs) > 0 {
+			dim = pvs[0].Point.Dim()
+		}
+		return lix.NewFlood(pvs, lix.FloodConfig{SortDim: dim - 1})
+	})
+	Register(Factory{
+		Name: "lisa",
+		Caps: Caps{Mutable: true, Spatial: true, KNN: true},
+		BuildSpatial: func(pvs []core.PV) (SpatialIndex, error) {
+			return lix.NewLISA(pvs, lix.LISAConfig{})
+		},
+	})
+	staticSpatial("qdtree", false, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
+		queries := dataset.RectQueries(points(pvs), 32, 0.001, 7)
+		return lix.NewQdTree(pvs, queries, lix.QdTreeConfig{})
+	})
+	staticSpatial("rtree-learned", false, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
+		h, err := lix.NewLearnedRTree(0, 0, pvs)
+		if err != nil {
+			return nil, err
+		}
+		return learnedRTree{Hybrid: h, n: len(pvs)}, nil
+	})
+}
+
+func points(pvs []core.PV) []core.Point {
+	out := make([]core.Point, len(pvs))
+	for i := range pvs {
+		out[i] = pvs[i].Point
+	}
+	return out
+}

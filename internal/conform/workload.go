@@ -1,0 +1,319 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+// OpKind enumerates the one-dimensional operations the engine replays.
+type OpKind uint8
+
+// The one-dimensional operation kinds.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpGet
+	OpRange
+	OpLen
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "Insert"
+	case OpDelete:
+		return "Delete"
+	case OpGet:
+		return "Get"
+	case OpRange:
+		return "Range"
+	case OpLen:
+		return "Len"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one one-dimensional operation.
+type Op struct {
+	Kind OpKind
+	Key  core.Key   // Insert/Delete/Get key; Range lower bound
+	Hi   core.Key   // Range upper bound
+	Val  core.Value // Insert value
+	Stop int        // Range: stop the scan after Stop visits (0 = scan all)
+}
+
+func (op Op) String() string {
+	switch op.Kind {
+	case OpInsert:
+		return fmt.Sprintf("Insert(%d, %d)", op.Key, op.Val)
+	case OpDelete:
+		return fmt.Sprintf("Delete(%d)", op.Key)
+	case OpGet:
+		return fmt.Sprintf("Get(%d)", op.Key)
+	case OpRange:
+		return fmt.Sprintf("Range(%d, %d, stop=%d)", op.Key, op.Hi, op.Stop)
+	case OpLen:
+		return "Len()"
+	}
+	return op.Kind.String()
+}
+
+// Workload1D is a deterministic one-dimensional workload: an initial
+// record set the index is built over, plus an operation sequence replayed
+// against index and oracle.
+type Workload1D struct {
+	Name string
+	Init []core.KV
+	Ops  []Op
+}
+
+// Shapes1D lists the key-distribution shapes every 1-D factory is
+// conformance-tested under: the easy near-linear CDF, heavy skew, high
+// local density variance, and the CDF-poisoning worst case.
+func Shapes1D() []dataset.Kind {
+	return []dataset.Kind{dataset.Uniform, dataset.Lognormal, dataset.Clustered, dataset.Adversarial}
+}
+
+// NewWorkload1D generates a deterministic workload of nOps operations over
+// keys of the given distribution shape. For mutable targets the op stream
+// interleaves Insert/Delete/Get/Range/Len; read-only targets get the same
+// key traffic with mutations replaced by reads. nInit keys are preloaded;
+// a disjoint pool of the same shape feeds later inserts.
+func NewWorkload1D(kind dataset.Kind, nInit, nOps int, mutable bool, seed int64) (Workload1D, error) {
+	keys, err := dataset.Keys(kind, nInit*2, seed)
+	if err != nil {
+		return Workload1D{}, err
+	}
+	if len(keys) < 2 {
+		return Workload1D{}, fmt.Errorf("conform: shape %s yielded %d keys", kind, len(keys))
+	}
+	// Even positions are preloaded, odd positions feed later inserts, so
+	// both sets follow the shape's distribution.
+	var init []core.KV
+	var fresh []core.Key
+	for i, k := range keys {
+		if i%2 == 0 {
+			init = append(init, core.KV{Key: k, Value: core.Value(k*2654435761 + 7)})
+		} else {
+			fresh = append(fresh, k)
+		}
+	}
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
+	pool := append([]core.Key(nil), keys...) // all keys ever eligible
+	ops := make([]Op, 0, nOps)
+	nextFresh := 0
+	pick := func() core.Key { return pool[r.Intn(len(pool))] }
+	// probe returns a key that is usually a miss: one past a pool key.
+	probe := func() core.Key {
+		if r.Intn(4) == 0 {
+			return pick() + 1
+		}
+		return pick()
+	}
+	for len(ops) < nOps {
+		roll := r.Intn(100)
+		switch {
+		case mutable && roll < 25:
+			var k core.Key
+			if nextFresh < len(fresh) && r.Intn(3) > 0 {
+				k = fresh[nextFresh]
+				nextFresh++
+			} else {
+				k = pick() // overwrite or reinsert
+			}
+			ops = append(ops, Op{Kind: OpInsert, Key: k, Val: core.Value(r.Uint64())})
+		case mutable && roll < 40:
+			ops = append(ops, Op{Kind: OpDelete, Key: probe()})
+		case roll < 75:
+			ops = append(ops, Op{Kind: OpGet, Key: probe()})
+		case roll < 95:
+			lo := pick()
+			span := core.Key(r.Intn(1 << uint(4+r.Intn(16))))
+			hi := lo + span
+			if hi < lo {
+				hi = ^core.Key(0)
+			}
+			stop := 0
+			if r.Intn(3) == 0 {
+				stop = 1 + r.Intn(8)
+			}
+			ops = append(ops, Op{Kind: OpRange, Key: lo, Hi: hi, Stop: stop})
+		default:
+			ops = append(ops, Op{Kind: OpLen})
+		}
+	}
+	name := fmt.Sprintf("%s/n%d/ops%d", kind, nInit, nOps)
+	return Workload1D{Name: name, Init: init, Ops: ops}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Spatial workloads
+// ---------------------------------------------------------------------------
+
+// SpatialOpKind enumerates the spatial operations the engine replays.
+type SpatialOpKind uint8
+
+// The spatial operation kinds.
+const (
+	SOpInsert SpatialOpKind = iota
+	SOpDelete
+	SOpLookup
+	SOpSearch
+	SOpKNN
+	SOpLen
+)
+
+func (k SpatialOpKind) String() string {
+	switch k {
+	case SOpInsert:
+		return "Insert"
+	case SOpDelete:
+		return "Delete"
+	case SOpLookup:
+		return "Lookup"
+	case SOpSearch:
+		return "Search"
+	case SOpKNN:
+		return "KNN"
+	case SOpLen:
+		return "Len"
+	}
+	return fmt.Sprintf("SpatialOpKind(%d)", uint8(k))
+}
+
+// SpatialOp is one spatial operation.
+type SpatialOp struct {
+	Kind SpatialOpKind
+	P    core.Point // Insert/Delete/Lookup point; KNN query point
+	Val  core.Value // Insert/Delete value
+	Rect core.Rect  // Search rectangle
+	K    int        // KNN k
+	Stop int        // Search: stop after Stop visits (0 = scan all)
+}
+
+func (op SpatialOp) String() string {
+	switch op.Kind {
+	case SOpInsert:
+		return fmt.Sprintf("Insert(%v, %d)", op.P, op.Val)
+	case SOpDelete:
+		return fmt.Sprintf("Delete(%v, %d)", op.P, op.Val)
+	case SOpLookup:
+		return fmt.Sprintf("Lookup(%v)", op.P)
+	case SOpSearch:
+		return fmt.Sprintf("Search(%v..%v, stop=%d)", op.Rect.Min, op.Rect.Max, op.Stop)
+	case SOpKNN:
+		return fmt.Sprintf("KNN(%v, %d)", op.P, op.K)
+	case SOpLen:
+		return "Len()"
+	}
+	return op.Kind.String()
+}
+
+// SpatialWorkload is a deterministic spatial workload.
+type SpatialWorkload struct {
+	Name string
+	Init []core.PV
+	Ops  []SpatialOp
+}
+
+// ShapesSpatial lists the point-distribution shapes every spatial factory
+// is conformance-tested under.
+func ShapesSpatial() []dataset.SpatialKind {
+	return dataset.SpatialKinds()
+}
+
+// NewSpatialWorkload generates a deterministic spatial workload of nOps
+// operations over dim-dimensional points of the given shape. valBase
+// offsets the values of inserted points so preloaded and inserted records
+// are distinguishable.
+func NewSpatialWorkload(kind dataset.SpatialKind, nInit, nOps, dim int, mutable, knn bool, seed int64) (SpatialWorkload, error) {
+	pts, err := dataset.Points(kind, nInit*2, dim, seed)
+	if err != nil {
+		return SpatialWorkload{}, err
+	}
+	var init []core.PV
+	var fresh []core.Point
+	for i, p := range pts {
+		if i%2 == 0 {
+			init = append(init, core.PV{Point: p, Value: core.Value(1000 + i)})
+		} else {
+			fresh = append(fresh, p)
+		}
+	}
+	// A handful of exact duplicates of preloaded points with new values
+	// exercise the multiple-equal-points path.
+	r := rand.New(rand.NewSource(seed ^ 0x0bef))
+	live := append([]core.PV(nil), init...) // tracks the oracle state for op targeting
+	ops := make([]SpatialOp, 0, nOps)
+	nextFresh := 0
+	nextVal := core.Value(1 << 20)
+	pickPt := func() core.Point {
+		if len(live) == 0 {
+			return fresh[r.Intn(len(fresh))]
+		}
+		return live[r.Intn(len(live))].Point
+	}
+	for len(ops) < nOps {
+		roll := r.Intn(100)
+		switch {
+		case mutable && roll < 20:
+			var p core.Point
+			if nextFresh < len(fresh) && r.Intn(4) > 0 {
+				p = fresh[nextFresh]
+				nextFresh++
+			} else {
+				p = pickPt() // equal point, distinct value
+			}
+			v := nextVal
+			nextVal++
+			ops = append(ops, SpatialOp{Kind: SOpInsert, P: p, Val: v})
+			live = append(live, core.PV{Point: p, Value: v})
+		case mutable && roll < 35:
+			if len(live) == 0 {
+				continue
+			}
+			i := r.Intn(len(live))
+			pv := live[i]
+			if r.Intn(8) == 0 {
+				pv.Value += 1 << 30 // deliberate miss: value not stored
+			} else {
+				live = append(live[:i], live[i+1:]...)
+			}
+			ops = append(ops, SpatialOp{Kind: SOpDelete, P: pv.Point, Val: pv.Value})
+		case roll < 55:
+			p := pickPt()
+			if r.Intn(4) == 0 && len(p) > 0 {
+				p = p.Clone()
+				p[0] += 0.5 // miss
+			}
+			ops = append(ops, SpatialOp{Kind: SOpLookup, P: p})
+		case roll < 80:
+			c := pickPt()
+			side := float64(uint64(1) << uint(6+r.Intn(11)))
+			min := make(core.Point, dim)
+			max := make(core.Point, dim)
+			for d := 0; d < dim; d++ {
+				min[d] = c[d] - side/2
+				max[d] = c[d] + side/2
+			}
+			stop := 0
+			if r.Intn(4) == 0 {
+				stop = 1 + r.Intn(8)
+			}
+			ops = append(ops, SpatialOp{Kind: SOpSearch, Rect: core.Rect{Min: min, Max: max}, Stop: stop})
+		case knn && roll < 92:
+			q := pickPt().Clone()
+			for d := range q {
+				q[d] += r.NormFloat64() * 50
+			}
+			ops = append(ops, SpatialOp{Kind: SOpKNN, P: q, K: 1 + r.Intn(16)})
+		default:
+			ops = append(ops, SpatialOp{Kind: SOpLen})
+		}
+	}
+	name := fmt.Sprintf("%s/d%d/n%d/ops%d", kind, dim, nInit, nOps)
+	return SpatialWorkload{Name: name, Init: init, Ops: ops}, nil
+}

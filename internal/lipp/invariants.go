@@ -1,0 +1,110 @@
+package lipp
+
+import (
+	"fmt"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// CheckInvariants verifies LIPP's defining properties: precise positions
+// (every stored entry sits at exactly the slot its owning node's model
+// predicts, and every key in a child subtree predicts the child's slot in
+// the parent), sorted runs, accurate per-node subtree sizes, a globally
+// ascending in-order traversal, and the root size accounting. It is O(n·h)
+// and intended for tests.
+func (ix *Index) CheckInvariants() error {
+	var last core.Key
+	seen := false
+	inOrder := func(k core.Key) error {
+		if seen && k <= last {
+			return fmt.Errorf("lipp: in-order traversal not strictly ascending at key %d", k)
+		}
+		seen, last = true, k
+		return nil
+	}
+
+	var walk func(nd *node) (int, error)
+	walk = func(nd *node) (int, error) {
+		if nd == nil {
+			return 0, fmt.Errorf("lipp: nil node")
+		}
+		entries := 0
+		for i := range nd.slots {
+			s := &nd.slots[i]
+			switch s.kind {
+			case slotEmpty:
+			case slotEntry:
+				if p := nd.predict(s.key); p != i {
+					return 0, fmt.Errorf("lipp: entry %d sits at slot %d but model predicts %d", s.key, i, p)
+				}
+				if err := inOrder(s.key); err != nil {
+					return 0, err
+				}
+				entries++
+			case slotRun:
+				if len(s.run) == 0 {
+					return 0, fmt.Errorf("lipp: empty run at slot %d", i)
+				}
+				for j, r := range s.run {
+					if j > 0 && r.Key <= s.run[j-1].Key {
+						return 0, fmt.Errorf("lipp: run at slot %d not strictly ascending at %d", i, j)
+					}
+					if p := nd.predict(r.Key); p != i {
+						return 0, fmt.Errorf("lipp: run key %d at slot %d but model predicts %d", r.Key, i, p)
+					}
+					if err := inOrder(r.Key); err != nil {
+						return 0, err
+					}
+				}
+				entries += len(s.run)
+			case slotChild:
+				if s.child == nil {
+					return 0, fmt.Errorf("lipp: nil child at slot %d", i)
+				}
+				n, err := walk(s.child)
+				if err != nil {
+					return 0, err
+				}
+				entries += n
+			default:
+				return 0, fmt.Errorf("lipp: unknown slot kind %d", s.kind)
+			}
+		}
+		if entries != nd.size {
+			return 0, fmt.Errorf("lipp: node size=%d but subtree holds %d entries", nd.size, entries)
+		}
+		return entries, nil
+	}
+	total, err := walk(ix.root)
+	if err != nil {
+		return err
+	}
+	if total != ix.size {
+		return fmt.Errorf("lipp: size=%d but tree holds %d entries", ix.size, total)
+	}
+
+	// Child-slot consistency: every key stored under a child must predict
+	// that child's slot in the parent, or lookups would miss it.
+	var checkChildren func(nd *node) error
+	checkChildren = func(nd *node) error {
+		for i := range nd.slots {
+			s := &nd.slots[i]
+			if s.kind != slotChild {
+				continue
+			}
+			var keys []core.Key
+			var vals []core.Value
+			collect(s.child, &keys, &vals)
+			for _, k := range keys {
+				if p := nd.predict(k); p != i {
+					return fmt.Errorf("lipp: key %d stored under child slot %d but parent predicts %d", k, i, p)
+				}
+			}
+			if err := checkChildren(s.child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return checkChildren(ix.root)
+}

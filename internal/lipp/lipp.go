@@ -143,14 +143,18 @@ func newNode(keys []core.Key, vals []core.Value, capHint int) *node {
 }
 
 func (nd *node) predict(k core.Key) int {
-	p := int(nd.slope * (float64(k) - nd.base))
-	if p < 0 {
+	// Clamp in float space: for huge keys the product can exceed the int64
+	// range, and converting such a float to int is implementation-defined
+	// (minInt64 on amd64), which would fold large keys onto slot 0 and
+	// break the precise-position ordering invariant.
+	p := nd.slope * (float64(k) - nd.base)
+	if !(p > 0) { // also catches NaN from 0*Inf degenerate models
 		return 0
 	}
-	if p >= len(nd.slots) {
+	if p >= float64(len(nd.slots)) {
 		return len(nd.slots) - 1
 	}
-	return p
+	return int(p)
 }
 
 // Len returns the number of records.

@@ -256,3 +256,53 @@ func TestPreciseLookupNoSearch(t *testing.T) {
 		t.Fatalf("height %d too deep for uniform data", h)
 	}
 }
+
+// TestPredictHugeKeyOverflow is a regression test for a bug found by the
+// conform differential suite (shrunk repro: bulk-load {1, 2, MaxUint64}).
+// predict used to convert slope*(float64(k)-base) to int before clamping;
+// for keys near 2^64 the product exceeds the int64 range and the conversion
+// is implementation-defined (minInt64 on amd64), so the huge key was folded
+// onto slot 0 and the tree's key ordering broke.
+func TestPredictHugeKeyOverflow(t *testing.T) {
+	const huge = ^core.Key(0) // math.MaxUint64
+	cases := [][]core.KV{
+		{{Key: 1, Value: 10}, {Key: 2, Value: 20}, {Key: huge, Value: 30}},
+		{{Key: 0, Value: 1}, {Key: huge - 1, Value: 2}, {Key: huge, Value: 3}},
+	}
+	for ci, recs := range cases {
+		// Both construction paths must survive huge keys.
+		bulk, err := Bulk(append([]core.KV(nil), recs...))
+		if err != nil {
+			t.Fatalf("case %d: Bulk: %v", ci, err)
+		}
+		inc := New()
+		for _, kv := range recs {
+			inc.Insert(kv.Key, kv.Value)
+		}
+		for name, ix := range map[string]*Index{"bulk": bulk, "incremental": inc} {
+			for _, kv := range recs {
+				if v, ok := ix.Get(kv.Key); !ok || v != kv.Value {
+					t.Errorf("case %d/%s: Get(%d) = (%d, %v), want (%d, true)",
+						ci, name, kv.Key, v, ok, kv.Value)
+				}
+			}
+			prev, seen, n := core.Key(0), false, 0
+			ix.Range(0, huge, func(k core.Key, _ core.Value) bool {
+				if seen && k <= prev {
+					t.Errorf("case %d/%s: Range not strictly ascending: %d after %d",
+						ci, name, k, prev)
+					return false
+				}
+				seen, prev = true, k
+				n++
+				return true
+			})
+			if n != len(recs) {
+				t.Errorf("case %d/%s: Range visited %d records, want %d", ci, name, n, len(recs))
+			}
+			if err := ix.CheckInvariants(); err != nil {
+				t.Errorf("case %d/%s: %v", ci, name, err)
+			}
+		}
+	}
+}

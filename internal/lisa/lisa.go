@@ -500,7 +500,13 @@ func (ix *Index) KNN(q core.Point, k int) []core.PV {
 				return cand[:k]
 			}
 		}
-		if w > 4*span {
+		// Stop only once the window provably holds every stored point —
+		// capping expansion by the data span alone terminated too early
+		// when the extent was degenerate (all points equal) or q lay far
+		// outside it. Inserts may land in the grid's unbounded edge cells,
+		// so the exact count, not geometry, is the completeness test; w
+		// doubles until the window swallows every finite point.
+		if len(cand) == ix.size {
 			sort.Slice(cand, func(i, j int) bool {
 				return q.DistSq(cand[i].Point) < q.DistSq(cand[j].Point)
 			})

@@ -197,3 +197,43 @@ func TestDuplicatePoints(t *testing.T) {
 		t.Fatalf("duplicate search = %d", n)
 	}
 }
+
+// TestKNNDegenerateExtent is a regression test for a bug found by the
+// conform differential suite (shrunk repro: one point at [100,100], query
+// KNN([500,500], 1)). KNN capped its window expansion at a multiple of the
+// grid's interior span, so with a degenerate extent (a single distinct
+// location) — or a query far outside the extent — the window never reached
+// the data and KNN returned no results. The window must grow until it
+// provably holds every stored point, including ones inserted into the
+// grid's unbounded edge cells after the build.
+func TestKNNDegenerateExtent(t *testing.T) {
+	single := []core.PV{{Point: core.Point{100, 100}, Value: 1}}
+	ix, err := Build(single, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.KNN(core.Point{500, 500}, 1)
+	if len(got) != 1 || got[0].Value != 1 {
+		t.Fatalf("KNN over single point = %v, want that point", got)
+	}
+
+	equal := make([]core.PV, 200)
+	for i := range equal {
+		equal[i] = core.PV{Point: core.Point{512, 512}, Value: core.Value(i)}
+	}
+	ix, err = Build(equal, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.KNN(core.Point{500, 500}, 3); len(got) != 3 {
+		t.Fatalf("KNN over equal points returned %d results, want 3", len(got))
+	}
+	// A later insert far outside the original extent must be reachable.
+	if err := ix.Insert(core.Point{9000, 9000}, 999); err != nil {
+		t.Fatal(err)
+	}
+	got = ix.KNN(core.Point{9100, 9100}, 1)
+	if len(got) != 1 || got[0].Value != 999 {
+		t.Fatalf("KNN near out-of-extent insert = %v, want value 999", got)
+	}
+}

@@ -285,9 +285,18 @@ func (m *Index) KNN(q core.Point, k int) []core.PV {
 	if k > len(m.pts) {
 		k = len(m.pts)
 	}
+	// coverRadius is the radius at which every partition's annulus
+	// [qDist-radius, qDist+radius] contains its full distance range
+	// [0, maxDist], i.e. the search provably scans every stored point.
+	// Capping expansion by the data span alone terminated too early when
+	// the extent was degenerate (all points equal) or q lay far outside it.
 	qDist := make([]float64, len(m.refs))
+	coverRadius := 0.0
 	for r := range m.refs {
 		qDist[r] = q.Dist(m.refs[r])
+		if c := qDist[r] + m.maxDist[r]; c > coverRadius {
+			coverRadius = c
+		}
 	}
 	// Expanding radius search.
 	radius := m.initialRadius()
@@ -321,8 +330,8 @@ func (m *Index) KNN(q core.Point, k int) []core.PV {
 				return result
 			}
 		}
-		radius *= 2
-		if radius > 4*m.worstSpan() {
+		if radius >= coverRadius {
+			// Every partition was scanned in full: cands holds all points.
 			sort.Slice(cands, func(i, j int) bool { return cands[i].d2 < cands[j].d2 })
 			if len(cands) > k {
 				cands = cands[:k]
@@ -333,6 +342,7 @@ func (m *Index) KNN(q core.Point, k int) []core.PV {
 			}
 			return result
 		}
+		radius *= 2
 	}
 }
 
@@ -347,19 +357,6 @@ func (m *Index) initialRadius() float64 {
 		r = 1
 	}
 	return r
-}
-
-func (m *Index) worstSpan() float64 {
-	w := 0.0
-	for _, d := range m.maxDist {
-		if d > w {
-			w = d
-		}
-	}
-	if w == 0 {
-		return 1
-	}
-	return w
 }
 
 // Stats reports structure statistics.

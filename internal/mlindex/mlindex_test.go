@@ -132,3 +132,34 @@ func TestEarlyStop(t *testing.T) {
 		t.Fatalf("early stop = %d", count)
 	}
 }
+
+// TestKNNDegenerateExtent is a regression test for a bug found by the
+// conform differential suite (shrunk repro: one point at [100,100], query
+// KNN([500,500], 1)). The expanding-annulus search capped its radius at a
+// multiple of the largest partition radius, so with a degenerate extent
+// (a single distinct location, all partition radii 0) — or a query far
+// outside the extent — the annuli never reached the data and KNN returned
+// no results.
+func TestKNNDegenerateExtent(t *testing.T) {
+	single := []core.PV{{Point: core.Point{100, 100}, Value: 1}}
+	ix, err := Build(single, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.KNN(core.Point{500, 500}, 1)
+	if len(got) != 1 || got[0].Value != 1 {
+		t.Fatalf("KNN over single point = %v, want that point", got)
+	}
+
+	equal := make([]core.PV, 200)
+	for i := range equal {
+		equal[i] = core.PV{Point: core.Point{512, 512}, Value: core.Value(i)}
+	}
+	ix, err = Build(equal, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.KNN(core.Point{500, 500}, 3); len(got) != 3 {
+		t.Fatalf("KNN over equal points returned %d results, want 3", len(got))
+	}
+}

@@ -1,0 +1,79 @@
+package rtree
+
+import (
+	"fmt"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// CheckInvariants verifies the R-tree's structural invariants: every inner
+// entry's rectangle is exactly the MBR of its child (so pruning during
+// search and kNN is sound), every leaf point lies inside its enclosing
+// entry rectangle, all leaves sit at uniform depth, node entry counts
+// respect the capacity bound, and size matches the leaf entry count. It is
+// O(n) and intended for tests.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return fmt.Errorf("rtree: nil root")
+	}
+	leafDepth := -1
+	total := 0
+	var walk func(n *node, depth int) error
+	walk = func(n *node, depth int) error {
+		if len(n.entries) > t.maxEntries {
+			return fmt.Errorf("rtree: node holds %d entries > max %d", len(n.entries), t.maxEntries)
+		}
+		if depth > 0 && len(n.entries) == 0 {
+			return fmt.Errorf("rtree: empty non-root node at depth %d", depth)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("rtree: leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			for i := range n.entries {
+				e := &n.entries[i]
+				if e.child != nil {
+					return fmt.Errorf("rtree: leaf entry %d has a child node", i)
+				}
+				if t.dim > 0 && e.pv.Point.Dim() != t.dim {
+					return fmt.Errorf("rtree: leaf point dim %d, tree dim %d", e.pv.Point.Dim(), t.dim)
+				}
+				if !e.rect.Contains(e.pv.Point) {
+					return fmt.Errorf("rtree: leaf entry %d rect does not contain its point", i)
+				}
+				total++
+			}
+			return nil
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.child == nil {
+				return fmt.Errorf("rtree: inner entry %d has no child", i)
+			}
+			if len(e.child.entries) == 0 {
+				return fmt.Errorf("rtree: inner entry %d points at an empty node", i)
+			}
+			mbr := e.child.mbr()
+			if !rectEqual(e.rect, mbr) {
+				return fmt.Errorf("rtree: inner entry %d rect %v is not its child's MBR %v", i, e.rect, mbr)
+			}
+			if err := walk(e.child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if total != t.size {
+		return fmt.Errorf("rtree: size=%d but leaves hold %d points", t.size, total)
+	}
+	return nil
+}
+
+func rectEqual(a, b core.Rect) bool {
+	return a.Min.Equal(b.Min) && a.Max.Equal(b.Max)
+}

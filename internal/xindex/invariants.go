@@ -1,0 +1,90 @@
+package xindex
+
+import "fmt"
+
+// CheckInvariants verifies the structural invariants of the concurrent
+// index under a consistent snapshot: root pivots ascending, every group's
+// base keys strictly ascending and within its pivot range, per-group error
+// bounds that really cover every base key, sorted delta buffers, no sealed
+// group reachable from the current root, and a live count that matches the
+// size counter. It takes each group's read lock (and is therefore safe to
+// call concurrently with readers and writers, though the size comparison is
+// only meaningful on a quiesced index, which is when the conform suite
+// calls it). It is O(n) and intended for tests.
+func (ix *Index) CheckInvariants() error {
+	r := ix.root.Load()
+	if r == nil {
+		return fmt.Errorf("xindex: nil root")
+	}
+	if len(r.pivots) != len(r.groups) {
+		return fmt.Errorf("xindex: %d pivots for %d groups", len(r.pivots), len(r.groups))
+	}
+	if len(r.groups) == 0 {
+		return fmt.Errorf("xindex: root with no groups")
+	}
+	for i := 1; i < len(r.pivots); i++ {
+		if r.pivots[i] <= r.pivots[i-1] {
+			return fmt.Errorf("xindex: pivots not strictly ascending at %d", i)
+		}
+	}
+	live := 0
+	for gi, g := range r.groups {
+		g.mu.RLock()
+		err := func() error {
+			if g.sealed {
+				return fmt.Errorf("xindex: sealed group %d reachable from the root", gi)
+			}
+			for i := range g.keys {
+				if i > 0 && g.keys[i] <= g.keys[i-1] {
+					return fmt.Errorf("xindex: group %d base keys not strictly ascending at %d", gi, i)
+				}
+				if gi > 0 && g.keys[i] < r.pivots[gi] {
+					return fmt.Errorf("xindex: group %d key %d below pivot %d", gi, g.keys[i], r.pivots[gi])
+				}
+				if gi+1 < len(r.pivots) && g.keys[i] >= r.pivots[gi+1] {
+					return fmt.Errorf("xindex: group %d key %d at or above next pivot %d", gi, g.keys[i], r.pivots[gi+1])
+				}
+				// The error bounds must cover the true position, or
+				// lowerIdx's windowed search would miss base records.
+				if e := i - g.predict(g.keys[i]); e < g.errLo || e > g.errHi {
+					return fmt.Errorf("xindex: group %d key %d prediction error %d outside [%d,%d]", gi, g.keys[i], e, g.errLo, g.errHi)
+				}
+			}
+			if len(g.vals) != len(g.keys) {
+				return fmt.Errorf("xindex: group %d keys/vals mismatch %d != %d", gi, len(g.keys), len(g.vals))
+			}
+			for j := range g.delta {
+				if j > 0 && g.delta[j].key <= g.delta[j-1].key {
+					return fmt.Errorf("xindex: group %d delta not strictly ascending at %d", gi, j)
+				}
+				if gi > 0 && g.delta[j].key < r.pivots[gi] {
+					return fmt.Errorf("xindex: group %d delta key %d below pivot %d", gi, g.delta[j].key, r.pivots[gi])
+				}
+				if gi+1 < len(r.pivots) && g.delta[j].key >= r.pivots[gi+1] {
+					return fmt.Errorf("xindex: group %d delta key %d at or above next pivot %d", gi, g.delta[j].key, r.pivots[gi+1])
+				}
+			}
+			// Count live records: base records not shadowed by a delta entry,
+			// plus non-dead delta entries.
+			for _, k := range g.keys {
+				if _, shadowed := g.deltaFind(k); !shadowed {
+					live++
+				}
+			}
+			for _, d := range g.delta {
+				if !d.dead {
+					live++
+				}
+			}
+			return nil
+		}()
+		g.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	if int64(live) != ix.size.Load() {
+		return fmt.Errorf("xindex: size=%d but groups hold %d live records", ix.size.Load(), live)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package zm
+
+import "fmt"
+
+// CheckInvariants verifies the ZM-index: the stored curve codes are sorted,
+// every code matches the re-encoding of its point, the parallel arrays
+// agree in length, and the underlying PGM-index both satisfies its own
+// invariants and maps every code to the correct array position. It is
+// O(n log n) and intended for tests.
+func (z *Index) CheckInvariants() error {
+	if len(z.codes) != len(z.pts) {
+		return fmt.Errorf("zm: %d codes for %d points", len(z.codes), len(z.pts))
+	}
+	for i := range z.codes {
+		if i > 0 && z.codes[i] < z.codes[i-1] {
+			return fmt.Errorf("zm: codes out of order at %d", i)
+		}
+		if got := z.code(z.pts[i].Point); got != z.codes[i] {
+			return fmt.Errorf("zm: stored code %d at %d, re-encoding gives %d", z.codes[i], i, got)
+		}
+	}
+	if err := z.ix.CheckInvariants(); err != nil {
+		return fmt.Errorf("zm: underlying pgm: %w", err)
+	}
+	// The learned index must land LowerBound(code) at the first occurrence
+	// of that code in the sorted array.
+	for i := range z.codes {
+		if i > 0 && z.codes[i] == z.codes[i-1] {
+			continue
+		}
+		if got := z.ix.LowerBound(z.codes[i]); got != i {
+			return fmt.Errorf("zm: LowerBound(%d) = %d, want %d", z.codes[i], got, i)
+		}
+	}
+	return nil
+}

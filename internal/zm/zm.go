@@ -10,6 +10,7 @@ package zm
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/lix-go/lix/internal/core"
@@ -208,15 +209,28 @@ func (z *Index) KNN(q core.Point, k int) []core.PV {
 	if k > len(z.pts) {
 		k = len(z.pts)
 	}
-	// Initial half-width guess from global density.
-	span := 0.0
+	// Initial half-width guess from global density; cover is the half-width
+	// at which the window is guaranteed to contain the entire data extent
+	// (and with it every stored point), measured from q. Capping expansion
+	// by the span alone would terminate too early when the extent is
+	// degenerate (all points equal) or q lies far outside it.
+	span, cover := 0.0, 0.0
 	for d := 0; d < z.dim; d++ {
 		s := z.quant.Max[d] - z.quant.Min[d]
 		if s > span {
 			span = s
 		}
+		if a := math.Abs(q[d] - z.quant.Min[d]); a > cover {
+			cover = a
+		}
+		if a := math.Abs(q[d] - z.quant.Max[d]); a > cover {
+			cover = a
+		}
 	}
 	w := span * 0.01
+	if w <= 0 {
+		w = 1
+	}
 	for {
 		rect := core.Rect{Min: make(core.Point, z.dim), Max: make(core.Point, z.dim)}
 		for d := 0; d < z.dim; d++ {
@@ -236,9 +250,8 @@ func (z *Index) KNN(q core.Point, k int) []core.PV {
 				return cand[:k]
 			}
 		}
-		if w > 2*span {
-			// Window covers everything representable: finish with what we
-			// have (cand holds all points).
+		if len(cand) == len(z.pts) || w >= cover {
+			// The window holds every stored point: finish with what we have.
 			sort.Slice(cand, func(i, j int) bool {
 				return q.DistSq(cand[i].Point) < q.DistSq(cand[j].Point)
 			})

@@ -161,3 +161,35 @@ func TestEarlyStop(t *testing.T) {
 		t.Fatalf("early stop = %d", count)
 	}
 }
+
+// TestKNNDegenerateExtent is a regression test for a bug found by the
+// conform differential suite (shrunk repro: one point at [100,100], query
+// KNN([500,500], 1)). KNN capped its window expansion at a multiple of the
+// data extent's span, so with a degenerate extent (a single distinct
+// location, span 0) — or a query far outside the extent — the window never
+// reached the data and KNN returned no results.
+func TestKNNDegenerateExtent(t *testing.T) {
+	for _, curve := range []CurveKind{CurveZ, CurveHilbert} {
+		single := []core.PV{{Point: core.Point{100, 100}, Value: 1}}
+		ix, err := Build(single, Config{Curve: curve})
+		if err != nil {
+			t.Fatalf("%s: %v", curve, err)
+		}
+		got := ix.KNN(core.Point{500, 500}, 1)
+		if len(got) != 1 || got[0].Value != 1 {
+			t.Fatalf("%s: KNN over single point = %v, want that point", curve, got)
+		}
+
+		equal := make([]core.PV, 200)
+		for i := range equal {
+			equal[i] = core.PV{Point: core.Point{512, 512}, Value: core.Value(i)}
+		}
+		ix, err = Build(equal, Config{Curve: curve})
+		if err != nil {
+			t.Fatalf("%s: %v", curve, err)
+		}
+		if got := ix.KNN(core.Point{500, 500}, 3); len(got) != 3 {
+			t.Fatalf("%s: KNN over equal points returned %d results, want 3", curve, len(got))
+		}
+	}
+}
