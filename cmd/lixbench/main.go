@@ -6,25 +6,57 @@
 //	lixbench -e E4            # one experiment at default scale
 //	lixbench -e all -n 100000 # whole suite at a custom dataset size
 //	lixbench -list            # list experiments
+//
+// Profiling and metrics:
+//
+//	lixbench -e E4 -cpuprofile cpu.out   # write a pprof CPU profile
+//	lixbench -e E4 -memprofile mem.out   # write a pprof heap profile
+//	lixbench -e all -metrics out.json    # dump config, per-experiment wall
+//	                                     # times and the process-wide search
+//	                                     # metrics (probe/window histograms)
+//	                                     # as JSON
+//
+// Profiles are written in runtime/pprof format; inspect them with
+// `go tool pprof cpu.out`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
+	"github.com/lix-go/lix"
 	"github.com/lix-go/lix/internal/bench"
 )
 
+// metricsReport is the -metrics JSON document.
+type metricsReport struct {
+	Config      bench.Config        `json:"config"`
+	Experiments []experimentTiming  `json:"experiments"`
+	Metrics     lix.MetricsSnapshot `json:"metrics"`
+}
+
+type experimentTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("e", "all", "experiment ID (E4..E19) or 'all'")
-		n     = flag.Int("n", 0, "dataset size (0 = default)")
-		q     = flag.Int("q", 0, "queries per measurement (0 = default)")
-		seed  = flag.Int64("seed", 7, "generator seed")
-		quick = flag.Bool("quick", false, "small quick-check scale")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		exp        = flag.String("e", "all", "experiment ID (E4..E19) or 'all'")
+		n          = flag.Int("n", 0, "dataset size (0 = default)")
+		q          = flag.Int("q", 0, "queries per measurement (0 = default)")
+		seed       = flag.Int64("seed", 7, "generator seed")
+		quick      = flag.Bool("quick", false, "small quick-check scale")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		metricsOut = flag.String("metrics", "", "write run metrics JSON to this file")
+		cpuOut     = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memOut     = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	if *list {
@@ -43,18 +75,71 @@ func main() {
 	}
 	cfg.Seed = *seed
 
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	var m *lix.Metrics
+	if *metricsOut != "" {
+		// Route every last-mile search in the run into one bundle so the
+		// report carries probe-count and error-window histograms.
+		m = lix.NewMetrics("lixbench")
+		lix.EnableSearchMetrics(m)
+		defer lix.DisableSearchMetrics()
+	}
+
 	ids := bench.IDs()
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
+	var timings []experimentTiming
 	for _, id := range ids {
+		start := time.Now()
 		tables, err := bench.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lixbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
+		timings = append(timings, experimentTiming{ID: id, Seconds: time.Since(start).Seconds()})
 		for _, t := range tables {
 			t.Render(os.Stdout)
 		}
 	}
+
+	if *metricsOut != "" {
+		report := metricsReport{Config: cfg, Experiments: timings, Metrics: m.Snapshot()}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *memOut != "" {
+		f, err := os.Create(*memOut)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // materialize live-heap stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lixbench:", err)
+	os.Exit(1)
 }

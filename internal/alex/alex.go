@@ -21,6 +21,7 @@ import (
 
 	"github.com/lix-go/lix/internal/core"
 	"github.com/lix-go/lix/internal/mlmodel"
+	"github.com/lix-go/lix/internal/obs"
 )
 
 // Tuning constants from the paper (densities) and this implementation
@@ -42,7 +43,14 @@ type Index struct {
 	Shifts  int
 	Expands int
 	Splits  int
+
+	hook obs.Hook
 }
+
+// SetObserver installs r to receive structural events (node expands, splits
+// and inner-model retrains); nil detaches. The disabled path costs one
+// atomic load per event site.
+func (ix *Index) SetObserver(r obs.Recorder) { ix.hook.SetRecorder(r) }
 
 type node interface{ isNode() }
 
@@ -397,6 +405,7 @@ func (ix *Index) expand(dn *dataNode) {
 	dn.model = nn.model
 	dn.numKeys = nn.numKeys
 	ix.Expands++
+	ix.hook.Emit(obs.EvNodeSplit, dn.numKeys, "expand")
 }
 
 // extract returns the node's live records in sorted order.
@@ -424,6 +433,7 @@ func (ix *Index) split(dn *dataNode, path []*inner) {
 	rightN.next = dn.next
 	leftN.next = rightN
 	ix.Splits++
+	ix.hook.Emit(obs.EvNodeSplit, len(keys), "split")
 	if len(path) == 0 {
 		// dn was the root.
 		rootFirst := core.Key(0)
@@ -435,6 +445,7 @@ func (ix *Index) split(dn *dataNode, path []*inner) {
 			children:  []node{leftN, rightN},
 		}
 		in.retrain()
+		ix.hook.Emit(obs.EvRetrain, len(in.children), "root")
 		ix.root = in
 		return
 	}
@@ -452,6 +463,7 @@ func (ix *Index) split(dn *dataNode, path []*inner) {
 	ix.fixPrevLink(dn, leftN)
 	if len(parent.children) >= 2*parent.trainedAt {
 		parent.retrain()
+		ix.hook.Emit(obs.EvRetrain, len(parent.children), "inner")
 	}
 }
 

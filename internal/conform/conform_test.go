@@ -213,8 +213,8 @@ func TestShrinkerMinimizesRepro(t *testing.T) {
 // invariantLiar conforms behaviorally but reports a broken invariant.
 type invariantLiar struct{ *oracle1D }
 
-func (invariantLiar) Stats() core.Stats        { return core.Stats{Name: "liar"} }
-func (invariantLiar) CheckInvariants() error   { return fmt.Errorf("planted invariant violation") }
+func (invariantLiar) Stats() core.Stats      { return core.Stats{Name: "liar"} }
+func (invariantLiar) CheckInvariants() error { return fmt.Errorf("planted invariant violation") }
 
 func TestInvariantHookSurfacesViolations(t *testing.T) {
 	f := Factory{

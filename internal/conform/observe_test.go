@@ -1,0 +1,49 @@
+package conform
+
+import (
+	"fmt"
+	"testing"
+
+	lix "github.com/lix-go/lix"
+	"github.com/lix-go/lix/internal/core"
+)
+
+// TestObserveTransparency1D re-runs the differential suite for every
+// registered 1-D factory with its product wrapped by the public
+// observability layer (lix.Observe / lix.ObserveMutable), each instance
+// with its own metrics bundle. The unwrapped factories already pass
+// TestDifferential1D, so any failure here isolates a behavior change
+// introduced by the wrapper: results, invariant checks and oracle agreement
+// must be indistinguishable from the bare index.
+func TestObserveTransparency1D(t *testing.T) {
+	for _, f := range Factories1D() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			wf := f
+			wf.Build1D = func(recs []core.KV) (Index, error) {
+				ix, err := f.Build1D(recs)
+				if err != nil {
+					return nil, err
+				}
+				m := lix.NewMetrics("conform-" + f.Name)
+				if f.Caps.Mutable {
+					mi, ok := ix.(MutableIndex)
+					if !ok {
+						return nil, fmt.Errorf("factory %s declares Mutable but product lacks Insert/Delete", f.Name)
+					}
+					return lix.ObserveMutable(mi, m), nil
+				}
+				return lix.Observe(ix, m), nil
+			}
+			nInit, nOps := diffSizes1D(t)
+			w, err := NewWorkload1D(Shapes1D()[0], nInit, nOps, f.Caps.Mutable, 0x0b5e+int64(len(f.Name)))
+			if err != nil {
+				t.Fatalf("workload: %v", err)
+			}
+			if d := Run1D(wf, w, 0); d != nil {
+				t.Fatalf("observed wrapper diverged:\n%s", d)
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Key is the one-dimensional key type used across the library. SOSD and the
@@ -94,6 +95,11 @@ func SearchRange(keys []Key, k Key, lo, hi int) int {
 	if lo > hi {
 		lo = hi
 	}
+	if b := searchRec.Load(); b != nil {
+		idx, probes := searchRangeCounted(keys, k, lo, hi)
+		b.r.RecordSearch(probes, hi-lo)
+		return idx
+	}
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		if keys[mid] < k {
@@ -116,6 +122,11 @@ func SearchRangeKV(recs []KV, k Key, lo, hi int) int {
 	if lo > hi {
 		lo = hi
 	}
+	if b := searchRec.Load(); b != nil {
+		idx, probes := searchRangeKVCounted(recs, k, lo, hi)
+		b.r.RecordSearch(probes, hi-lo)
+		return idx
+	}
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		if recs[mid].Key < k {
@@ -132,6 +143,9 @@ func SearchRangeKV(recs []KV, k Key, lo, hi int) int {
 // then binary-searching inside it. Cost is O(log distance(pos, true)) which
 // is why ALEX and LIPP prefer it when predictions are usually near-exact.
 func ExponentialSearch(keys []Key, k Key, pos int) int {
+	if b := searchRec.Load(); b != nil {
+		return exponentialSearchRecorded(keys, k, pos, b.r)
+	}
 	n := len(keys)
 	if n == 0 {
 		return 0
@@ -389,8 +403,21 @@ type Stats struct {
 	Models int
 }
 
-// String renders a compact human-readable summary.
+// String renders a compact human-readable summary. Height and Models are
+// omitted when zero: for those two fields zero means "not applicable"
+// (flat structures have no height to speak of, baselines have no models),
+// and rendering "h=0 models=0" made that indistinguishable from an index
+// that simply forgot to fill them in. The always-present fields render in
+// a fixed order, so the output is stable and machine-greppable.
 func (s Stats) String() string {
-	return fmt.Sprintf("%s{n=%d idx=%dB data=%dB h=%d models=%d}",
-		s.Name, s.Count, s.IndexBytes, s.DataBytes, s.Height, s.Models)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{n=%d idx=%dB data=%dB", s.Name, s.Count, s.IndexBytes, s.DataBytes)
+	if s.Height != 0 {
+		fmt.Fprintf(&b, " h=%d", s.Height)
+	}
+	if s.Models != 0 {
+		fmt.Fprintf(&b, " models=%d", s.Models)
+	}
+	b.WriteByte('}')
+	return b.String()
 }

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
 	"github.com/lix-go/lix/internal/segment"
 )
 
@@ -43,7 +44,14 @@ type Index struct {
 	size   int
 	// Merges counts buffer merges (diagnostics).
 	Merges int
+
+	hook obs.Hook
 }
+
+// SetObserver installs r to receive structural events (per-segment buffer
+// merges: EvBufferMerge with N = records in the re-segmented result); nil
+// detaches.
+func (ix *Index) SetObserver(r obs.Recorder) { ix.hook.SetRecorder(r) }
 
 // New returns an empty index with the given error bound and buffer
 // capacity (0 selects the defaults).
@@ -259,6 +267,7 @@ func (ix *Index) merge(s *seg) {
 	out = append(out, ix.segs[pos+1:]...)
 	ix.segs = out
 	ix.Merges++
+	ix.hook.Emit(obs.EvBufferMerge, len(keys), "segment")
 }
 
 // Delete removes k, returning true if present.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
 )
 
 const (
@@ -59,7 +60,16 @@ type Index struct {
 	// Diagnostics.
 	Conflicts int
 	Rebuilds  int
+
+	hook obs.Hook
 }
+
+// SetObserver installs r to receive structural events (conflict-child
+// creation, subtree rebuilds) and per-lookup descent depth; nil detaches.
+// LIPP is search-free — positions are precise, so there is no error window —
+// which means the core search recorder never fires for it. Instead the
+// recorded "probes" are the node hops of the descent, with window 0.
+func (ix *Index) SetObserver(r obs.Recorder) { ix.hook.SetRecorder(r) }
 
 // New returns an empty index.
 func New() *Index {
@@ -163,6 +173,9 @@ func (ix *Index) Len() int { return ix.size }
 // Get returns the value stored for k. Lookup is search-free: it follows
 // predicted slots only.
 func (ix *Index) Get(k core.Key) (core.Value, bool) {
+	if r := ix.hook.Recorder(); r != nil {
+		return ix.getRecorded(k, r)
+	}
 	nd := ix.root
 	for {
 		s := &nd.slots[nd.predict(k)]
@@ -181,6 +194,37 @@ func (ix *Index) Get(k core.Key) (core.Value, bool) {
 			}
 			return 0, false
 		case slotChild:
+			nd = s.child
+		}
+	}
+}
+
+// getRecorded is the recording twin of Get: it counts node hops as probes
+// (window 0 — precise positions have no error window) and records once.
+func (ix *Index) getRecorded(k core.Key, r obs.Recorder) (core.Value, bool) {
+	nd := ix.root
+	depth := 1
+	for {
+		s := &nd.slots[nd.predict(k)]
+		switch s.kind {
+		case slotEmpty:
+			r.RecordSearch(depth, 0)
+			return 0, false
+		case slotEntry:
+			r.RecordSearch(depth, 0)
+			if s.key == k {
+				return s.val, true
+			}
+			return 0, false
+		case slotRun:
+			r.RecordSearch(depth, len(s.run))
+			i := core.LowerBoundKV(s.run, k)
+			if i < len(s.run) && s.run[i].Key == k {
+				return s.run[i].Value, true
+			}
+			return 0, false
+		case slotChild:
+			depth++
 			nd = s.child
 		}
 	}
@@ -226,6 +270,7 @@ func (ix *Index) Insert(k core.Key, v core.Value) bool {
 			}
 			nd.conflicts++
 			ix.Conflicts++
+			ix.hook.Emit(obs.EvNodeSplit, 2, "conflict")
 			added = true
 			break
 		}
@@ -273,6 +318,7 @@ func (ix *Index) maybeRebuild(path []*node) {
 			rebuilt := newNode(keys, vals, 0)
 			*nd = *rebuilt
 			ix.Rebuilds++
+			ix.hook.Emit(obs.EvRetrain, len(keys), "rebuild")
 			return
 		}
 	}

@@ -14,7 +14,10 @@
 package lsm
 
 import (
+	"fmt"
+
 	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
 	"github.com/lix-go/lix/internal/radixspline"
 	"github.com/lix-go/lix/internal/skiplist"
 )
@@ -103,7 +106,14 @@ type DB struct {
 	// Flushes and Compactions count maintenance events (diagnostics).
 	Flushes     int
 	Compactions int
+
+	hook obs.Hook
 }
+
+// SetObserver installs r to receive structural events (memtable flushes as
+// EvBufferFlush, L0 and cascading compactions as EvCompaction with the
+// target level in the detail); nil detaches.
+func (db *DB) SetObserver(r obs.Recorder) { db.hook.SetRecorder(r) }
 
 // New returns an empty learned LSM-tree.
 func New(cfg Config) *DB {
@@ -197,6 +207,7 @@ func (db *DB) Flush() {
 	db.mem = skiplist.New(1)
 	db.memDead = map[core.Key]bool{}
 	db.Flushes++
+	db.hook.Emit(obs.EvBufferFlush, len(recs), "memtable")
 	if len(db.l0) >= db.cfg.L0Runs {
 		db.compactL0()
 	}
@@ -217,6 +228,7 @@ func (db *DB) compactL0() {
 	db.deep[0] = merged
 	db.l0 = nil
 	db.Compactions++
+	db.hook.Emit(obs.EvCompaction, len(merged.recs), "l0->l1")
 	db.cascade()
 }
 
@@ -242,6 +254,7 @@ func (db *DB) cascade() {
 		db.deep[i+1] = merged
 		db.deep[i] = nil
 		db.Compactions++
+		db.hook.Emit(obs.EvCompaction, len(merged.recs), fmt.Sprintf("l%d->l%d", i+1, i+2))
 	}
 }
 

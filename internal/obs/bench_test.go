@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The micro-benchmarks quantify the two costs the tentpole cares about:
+// the enabled write path (counter add, histogram observe) and the disabled
+// hook path (one atomic load + branch), whose measured overhead is
+// recorded in DESIGN.md.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Load() == 0 {
+		b.Fatal("counter lost updates")
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Load() != uint64(b.N) {
+		b.Fatalf("counter holds %d, want %d", c.Load(), b.N)
+	}
+}
+
+// BenchmarkAtomicAddParallel is the unsharded baseline BenchmarkCounterAddParallel
+// is compared against: one atomic word all writers contend on.
+func BenchmarkAtomicAddParallel(b *testing.B) {
+	var n atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n.Add(1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var i uint64
+		for pb.Next() {
+			i++
+			h.Observe(i)
+		}
+	})
+}
+
+// BenchmarkHookEmitDisabled measures the disabled structural-event path:
+// the cost an uninstrumented index pays at every would-be event site.
+func BenchmarkHookEmitDisabled(b *testing.B) {
+	var h Hook
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Emit(EvNodeSplit, i, "")
+	}
+}
+
+// BenchmarkHookRecorderDisabled measures the disabled per-search check.
+func BenchmarkHookRecorderDisabled(b *testing.B) {
+	var h Hook
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if r := h.Recorder(); r != nil {
+			n++
+		}
+	}
+	if n != 0 {
+		b.Fatal("unexpected recorder")
+	}
+}
+
+func BenchmarkMetricsRecordSearch(b *testing.B) {
+	m := NewMetrics("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RecordSearch(5, 64)
+	}
+}
+
+func BenchmarkEventPublish(b *testing.B) {
+	var l EventLog
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Publish(Event{Type: EvCompaction, N: i})
+	}
+}

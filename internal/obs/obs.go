@@ -1,0 +1,190 @@
+// Package obs is the observability layer of the lix library: low-overhead,
+// concurrency-safe primitives that record what a learned index actually
+// does under traffic — per-operation latencies, last-mile search probe
+// counts and error-window widths, structural maintenance events (retrains,
+// node splits, buffer flushes and merges, LSM compactions, RCU root swaps)
+// and drift-detector trips.
+//
+// The design constraints come straight from the paper's cost model
+// (predict, then run a bounded last-mile search) and its §6 open
+// challenges: the quantities that decide when to retrain, how expensive an
+// insert strategy is, and whether concurrency is paying off are all
+// per-operation measurements on hot paths, so every primitive here is
+// allocation-free on the write path and must cost nothing measurable when
+// instrumentation is disabled.
+//
+//   - Counter is a cache-line-sharded atomic counter: concurrent writers
+//     spread across shards instead of bouncing one cache line.
+//   - Histogram buckets observations by log₂(value): 65 fixed buckets cover
+//     the full uint64 range, so one histogram type serves probe counts
+//     (0..64), window widths, result cardinalities and latencies in
+//     nanoseconds alike.
+//   - EventLog is a typed, bounded event stream with per-type totals.
+//   - Metrics bundles the histograms and counters one observed index needs
+//     and renders them as a Snapshot, expvar variable, or Prometheus text.
+//
+// The hot-path hook protocol is the Recorder interface plus the Hook
+// holder: an index embeds a Hook (one atomic pointer) and calls
+// Hook.Emit / Hook.Recorder on its structural and search paths; when no
+// recorder is attached the cost is a single atomic load and branch.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterShards is the number of cache-line-padded shards per Counter.
+// Must be a power of two.
+const counterShards = 8
+
+type counterShard struct {
+	n atomic.Uint64
+	_ [56]byte // pad to a 64-byte cache line
+}
+
+// Counter is a sharded atomic counter. The zero value is ready to use.
+// Concurrent Add calls from different goroutines usually land on different
+// shards (selected by stack address), avoiding the cache-line ping-pong of
+// a single atomic word under write-heavy load.
+type Counter struct {
+	shards [counterShards]counterShard
+}
+
+// shardHint derives a cheap goroutine-affine shard index from the address
+// of a live stack variable: goroutines have distinct stacks, so concurrent
+// writers spread across shards without any runtime support. Bits below the
+// page level are dropped because allocations within one frame share them.
+func shardHint(p unsafe.Pointer) int {
+	return int(uintptr(p)>>12) & (counterShards - 1)
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) {
+	c.shards[shardHint(unsafe.Pointer(&n))].n.Add(n)
+}
+
+// Inc adds 1 to the counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current total. It is a consistent sum only when no
+// writer is concurrently active; under concurrency it is a live snapshot,
+// which is the usual contract for monitoring counters.
+func (c *Counter) Load() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}
+
+// histBuckets is the number of log₂ buckets: bucket i holds observations v
+// with bits.Len64(v) == i, i.e. bucket 0 is exactly v==0 and bucket i>=1
+// covers [2^(i-1), 2^i). 65 buckets span the whole uint64 range.
+const histBuckets = 65
+
+// Histogram is a log₂-bucketed histogram of uint64 observations. The zero
+// value is ready to use; Observe is allocation-free and safe for concurrent
+// use (one atomic add per bucket plus count/sum).
+type Histogram struct {
+	count atomic.Uint64
+	sum   atomic.Uint64
+	max   atomic.Uint64
+	bkt   [histBuckets]atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.bkt[bits.Len64(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Snapshot returns a point-in-time copy of the histogram. Under concurrent
+// writers the copy is a live snapshot, not an atomic cut.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.bkt {
+		s.Buckets[i] = h.bkt[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1); see HistSnapshot.Quantile.
+func (h *Histogram) Quantile(q float64) uint64 { return h.Snapshot().Quantile(q) }
+
+// HistSnapshot is a point-in-time copy of a Histogram, suitable for JSON
+// encoding and offline quantile estimation.
+type HistSnapshot struct {
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
+	Max     uint64              `json:"max"`
+	Buckets [histBuckets]uint64 `json:"buckets"`
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile estimates the q-quantile by walking the cumulative bucket
+// counts and reporting the matched bucket's upper bound (clamped to the
+// observed maximum, which makes the estimate exact for the tail bucket).
+// The log₂ bucketing bounds the relative error by 2x, which is the usual
+// monitoring trade: cheap enough for a hot path, accurate enough for p50
+// vs p99 comparisons.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count-1))
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum > rank {
+			u := BucketUpper(i)
+			if u > s.Max {
+				u = s.Max
+			}
+			return u
+		}
+	}
+	return s.Max
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentStress hammers one histogram, one counter, one event log
+// and one metrics bundle from many goroutines at once, with a concurrent
+// reader taking snapshots. Run by the CI race tier (go test -race -short
+// ./internal/obs ...): its value is the interleavings the race detector
+// explores, not the assertions.
+func TestConcurrentStress(t *testing.T) {
+	writers := 4 * runtime.GOMAXPROCS(0)
+	perWriter := 20000
+	if testing.Short() {
+		perWriter = 4000
+	}
+
+	m := NewMetrics("stress")
+	m.SetDriftDetector(&fixedDetector{left: writers * perWriter / 2}, nil)
+	var hook Hook
+	hook.SetRecorder(m)
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent reader: snapshots, quantiles and recent-event reads must
+	// be safe against in-flight writers.
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := m.Snapshot()
+			_ = s.Histograms["search_probes"].P99
+			_ = m.Probes.Quantile(0.5)
+			_ = m.Events.Recent(8)
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				m.Lookups.Inc()
+				m.Probes.Observe(uint64(i & 1023))
+				m.RecordSearch(i&15, i&255)
+				if i%512 == 0 {
+					hook.Emit(EvNodeSplit, i, "stress")
+				}
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	total := uint64(writers * perWriter)
+	if got := m.Lookups.Load(); got != total {
+		t.Fatalf("Lookups = %d, want %d (sharded counter lost updates)", got, total)
+	}
+	// Probes histogram sees one Observe + one RecordSearch per iteration.
+	if got := m.Probes.Count(); got != 2*total {
+		t.Fatalf("Probes count = %d, want %d", got, 2*total)
+	}
+	if got := m.Window.Count(); got != total {
+		t.Fatalf("Window count = %d, want %d", got, total)
+	}
+	wantEvents := uint64(writers) * uint64((perWriter+511)/512)
+	if got := m.Events.Count(EvNodeSplit); got != wantEvents {
+		t.Fatalf("split events = %d, want %d", got, wantEvents)
+	}
+	if m.Events.Count(EvDriftTrip) != 1 {
+		t.Fatalf("drift trips = %d, want exactly 1 (latched)", m.Events.Count(EvDriftTrip))
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
 	"github.com/lix-go/lix/internal/segment"
 )
 
@@ -212,9 +213,14 @@ func (ix *Index) LowerBound(k core.Key) int {
 		if hi > s.EndIdx {
 			hi = s.EndIdx
 		}
-		// Binary search over distinct floats for the first >= x.
+		// Binary search over distinct floats for the first >= x. The probe
+		// counter costs a register increment; it only escapes into the
+		// recorder when one is installed (the ε-bounded window here is the
+		// paper's last-mile correction cost for the PGM).
 		d = lo
+		probes := 0
 		for l, h := lo, hi; l < h; {
+			probes++
 			mid := int(uint(l+h) >> 1)
 			if ix.distinctAt(mid) < x {
 				l = mid + 1
@@ -223,6 +229,9 @@ func (ix *Index) LowerBound(k core.Key) int {
 				h = mid
 				d = h
 			}
+		}
+		if r := core.ActiveSearchRecorder(); r != nil {
+			r.RecordSearch(probes, hi-lo)
 		}
 	}
 	if d >= ix.nd {
@@ -321,7 +330,15 @@ type Dynamic struct {
 	levels  []*Index // levels[i] holds ~bufCap*2^i records, nil if empty
 	tombs   []map[core.Key]bool
 	liveCnt int
+
+	hook obs.Hook
 }
+
+// SetObserver installs r to receive structural events: every buffer flush
+// (EvBufferFlush, N = buffered records) and the logarithmic-method merge it
+// triggers (EvBufferMerge, N = merged records, detail = target level); nil
+// detaches.
+func (d *Dynamic) SetObserver(r obs.Recorder) { d.hook.SetRecorder(r) }
 
 type dynRec struct {
 	key  core.Key
@@ -400,6 +417,7 @@ func (d *Dynamic) put(r dynRec) {
 // flush merges the buffer and all levels up to the first empty slot into a
 // single static PGM at that slot (the logarithmic method).
 func (d *Dynamic) flush() {
+	d.hook.Emit(obs.EvBufferFlush, len(d.buf), "")
 	runs := [][]dynRec{d.buf}
 	slot := 0
 	for ; slot < len(d.levels); slot++ {
@@ -440,6 +458,7 @@ func (d *Dynamic) flush() {
 	d.levels[slot] = ix
 	d.tombs[slot] = tmb
 	d.buf = d.buf[:0]
+	d.hook.Emit(obs.EvBufferMerge, len(merged), fmt.Sprintf("level%d", slot))
 }
 
 // levelRecs extracts a level's records with their tombstone flags.

@@ -172,8 +172,12 @@ func (ix *Index) LowerBound(k core.Key) int {
 		pred := int(math.Round(s.Predict(x)))
 		lo := core.Clamp(pred-ix.eps-1, s.StartIdx, s.EndIdx)
 		hi := core.Clamp(pred+ix.eps+2, lo, s.EndIdx)
+		// Count probes of the ε-bounded correction search; the counter only
+		// escapes into the recorder when one is installed.
 		d = lo
+		probes := 0
 		for l, h := lo, hi; l < h; {
+			probes++
 			mid := int(uint(l+h) >> 1)
 			if ix.distinctAt(mid) < x {
 				l = mid + 1
@@ -182,6 +186,9 @@ func (ix *Index) LowerBound(k core.Key) int {
 				h = mid
 				d = h
 			}
+		}
+		if r := core.ActiveSearchRecorder(); r != nil {
+			r.RecordSearch(probes, hi-lo)
 		}
 	}
 	if d >= ix.nd {

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
 )
 
 // DefaultGroupSize is the target number of base records per group.
@@ -63,7 +64,15 @@ type Index struct {
 	deltaCap  int
 	// Compactions counts group compactions (diagnostics).
 	Compactions atomic.Int64
+
+	hook obs.Hook
 }
+
+// SetObserver installs r to receive structural events: group retrains
+// (EvRetrain), compactions (EvCompaction) and RCU root swaps (EvRCUSwap);
+// nil detaches. Hook is an atomic pointer, so attaching is safe while
+// concurrent readers and writers are on the data path.
+func (ix *Index) SetObserver(r obs.Recorder) { ix.hook.SetRecorder(r) }
 
 // New returns an empty index with the given group size and delta capacity
 // (0 selects the defaults).
@@ -306,12 +315,15 @@ func (ix *Index) compact(g *group) {
 		g.retrain()
 		g.mu.Unlock()
 		ix.Compactions.Add(1)
+		ix.hook.Emit(obs.EvCompaction, len(keys), "in-place")
+		ix.hook.Emit(obs.EvRetrain, len(keys), "group")
 		return
 	}
 	// Split into chunks of groupSize under the structure lock.
 	g.sealed = true
 	g.mu.Unlock()
 	ix.Compactions.Add(1)
+	ix.hook.Emit(obs.EvCompaction, len(keys), "split")
 	old := ix.root.Load()
 	var newGroups []*group
 	var newPivots []core.Key
@@ -343,6 +355,7 @@ func (ix *Index) compact(g *group) {
 		newPivots = append(newPivots, old.pivots[i])
 	}
 	ix.root.Store(buildRoot(newGroups, newPivots))
+	ix.hook.Emit(obs.EvRCUSwap, len(newGroups), "split")
 }
 
 // mergeBaseDelta merges a sorted base with a sorted delta, dropping dead

@@ -1,0 +1,158 @@
+package lix
+
+import (
+	"io"
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
+)
+
+// Observability types, re-exported from internal/obs for the public API.
+type (
+	// Metrics is an allocation-free, concurrency-safe metrics bundle: op
+	// counters, log2-bucketed latency/probe/window histograms, and a
+	// structural event log.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time, JSON-serializable view of a
+	// Metrics bundle.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSummary summarizes one histogram inside a MetricsSnapshot.
+	HistogramSummary = obs.HistogramSummary
+	// Event is one structural event (retrain, split, flush, ...).
+	Event = obs.Event
+	// EventType enumerates the structural event kinds.
+	EventType = obs.EventType
+	// DriftDetector consumes a per-operation cost stream and reports when
+	// the distribution shifted. drift.EWMA and drift.PageHinkley satisfy it.
+	DriftDetector = obs.DriftDetector
+)
+
+// Structural event kinds re-exported from internal/obs.
+const (
+	EvRetrain     = obs.EvRetrain
+	EvNodeSplit   = obs.EvNodeSplit
+	EvBufferFlush = obs.EvBufferFlush
+	EvBufferMerge = obs.EvBufferMerge
+	EvCompaction  = obs.EvCompaction
+	EvRCUSwap     = obs.EvRCUSwap
+	EvDriftTrip   = obs.EvDriftTrip
+)
+
+// NewMetrics returns an empty metrics bundle named name (the name labels
+// expvar/Prometheus output and event sources).
+func NewMetrics(name string) *Metrics { return obs.NewMetrics(name) }
+
+// EnableSearchMetrics routes the last-mile search instrumentation of every
+// index in the process (probe counts and error-window widths from
+// core.SearchRange / ExponentialSearch) into m. The instrumentation is
+// process-wide because the search helpers are shared by all indexes; with
+// no recorder installed they pay one atomic load + branch (~1-2 ns, see
+// DESIGN.md). Pass the same bundle to Observe to correlate searches with
+// the ops that issued them.
+func EnableSearchMetrics(m *Metrics) { core.SetSearchRecorder(m) }
+
+// DisableSearchMetrics detaches the process-wide search recorder.
+func DisableSearchMetrics() { core.SetSearchRecorder(nil) }
+
+// observable is satisfied by every instrumented index (ALEX, LIPP, dynamic
+// PGM, FITing-tree, XIndex, learned LSM) through their adapters.
+type observable interface {
+	SetObserver(obs.Recorder)
+}
+
+// ObservedIndex wraps an Index, recording per-op latency and result
+// cardinality into a Metrics bundle. Reads pass through unchanged.
+type ObservedIndex struct {
+	idx Index
+	m   *Metrics
+}
+
+// Observe wraps idx so every Get and Range records latency, hit/miss and
+// result cardinality into m. If the underlying index emits structural
+// events (splits, retrains, flushes, ...), those are routed into m.Events
+// as well. The wrapper is behavior-transparent: results are identical to
+// the unwrapped index (the conformance suite asserts this for every
+// registered index kind).
+func Observe(idx Index, m *Metrics) *ObservedIndex {
+	if o, ok := idx.(observable); ok {
+		o.SetObserver(m)
+	}
+	return &ObservedIndex{idx: idx, m: m}
+}
+
+// Unwrap returns the wrapped index.
+func (o *ObservedIndex) Unwrap() Index { return o.idx }
+
+// Metrics returns the bundle this wrapper records into.
+func (o *ObservedIndex) Metrics() *Metrics { return o.m }
+
+// Get returns the value stored for k, recording latency and hit/miss.
+func (o *ObservedIndex) Get(k Key) (Value, bool) {
+	start := time.Now()
+	v, ok := o.idx.Get(k)
+	o.m.GetNS.Observe(uint64(time.Since(start)))
+	o.m.Lookups.Inc()
+	if ok {
+		o.m.Hits.Inc()
+	}
+	return v, ok
+}
+
+// Range scans [lo, hi], recording latency and result cardinality.
+func (o *ObservedIndex) Range(lo, hi Key, fn func(Key, Value) bool) int {
+	start := time.Now()
+	n := o.idx.Range(lo, hi, fn)
+	o.m.RangeNS.Observe(uint64(time.Since(start)))
+	o.m.RangeLen.Observe(uint64(n))
+	o.m.Ranges.Inc()
+	return n
+}
+
+// Len returns the number of records (not recorded).
+func (o *ObservedIndex) Len() int { return o.idx.Len() }
+
+// Stats forwards to the wrapped index (not recorded).
+func (o *ObservedIndex) Stats() Stats { return o.idx.Stats() }
+
+// CheckInvariants forwards to the wrapped index's structural self-check,
+// so lix.CheckInvariants sees through the wrapper.
+func (o *ObservedIndex) CheckInvariants() error { return CheckInvariants(o.idx) }
+
+// ObservedMutableIndex additionally records Insert and Delete.
+type ObservedMutableIndex struct {
+	ObservedIndex
+	mut MutableIndex
+}
+
+// ObserveMutable is Observe for updatable indexes: Insert and Delete
+// latencies are recorded too.
+func ObserveMutable(idx MutableIndex, m *Metrics) *ObservedMutableIndex {
+	if o, ok := idx.(observable); ok {
+		o.SetObserver(m)
+	}
+	return &ObservedMutableIndex{ObservedIndex: ObservedIndex{idx: idx, m: m}, mut: idx}
+}
+
+// Insert upserts (k, v), recording latency.
+func (o *ObservedMutableIndex) Insert(k Key, v Value) {
+	start := time.Now()
+	o.mut.Insert(k, v)
+	o.m.InsertNS.Observe(uint64(time.Since(start)))
+	o.m.Inserts.Inc()
+}
+
+// Delete removes k, recording latency.
+func (o *ObservedMutableIndex) Delete(k Key) bool {
+	start := time.Now()
+	ok := o.mut.Delete(k)
+	o.m.DeleteNS.Observe(uint64(time.Since(start)))
+	o.m.Deletes.Inc()
+	return ok
+}
+
+// WriteMetricsPrometheus renders the given bundles in Prometheus text
+// exposition format (stdlib only, no client dependency).
+func WriteMetricsPrometheus(w io.Writer, ms ...*Metrics) error {
+	return obs.WritePrometheusAll(w, ms...)
+}

@@ -1,0 +1,286 @@
+package lix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func obsTestRecs(n int) []KV {
+	recs := make([]KV, n)
+	for i := range recs {
+		recs[i] = KV{Key: Key(i * 7), Value: Value(i)}
+	}
+	return recs
+}
+
+// TestObserveRecordsAcrossKinds drives the acceptance matrix: for RMI, PGM,
+// ALEX, LIPP, XIndex and the learned LSM, an observed index must record
+// per-op latency histograms, counters, and — with search metrics enabled —
+// probe counts and error-window widths from the shared last-mile search.
+func TestObserveRecordsAcrossKinds(t *testing.T) {
+	recs := obsTestRecs(3000)
+
+	builders := []struct {
+		kind  string
+		build func(t *testing.T) Index
+	}{
+		{"rmi", func(t *testing.T) Index {
+			ix, err := NewRMI(recs, RMIConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		}},
+		{"pgm", func(t *testing.T) Index {
+			ix, err := NewPGM(recs, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		}},
+		{"alex", func(t *testing.T) Index {
+			ix, err := BulkALEX(recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		}},
+		{"lipp", func(t *testing.T) Index {
+			ix, err := BulkLIPP(recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		}},
+		{"xindex", func(t *testing.T) Index {
+			ix, err := BulkXIndex(recs, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix
+		}},
+		{"learned-lsm", func(t *testing.T) Index {
+			db := NewLearnedLSM(LSMConfig{MemtableCap: 256})
+			for _, r := range recs {
+				db.Insert(r.Key, r.Value)
+			}
+			// Everything still in the memtable would bypass the learned
+			// run indexes; the cap above forces flushed runs.
+			return db
+		}},
+	}
+
+	for _, b := range builders {
+		t.Run(b.kind, func(t *testing.T) {
+			m := NewMetrics(b.kind)
+			o := Observe(b.build(t), m)
+			EnableSearchMetrics(m)
+			defer DisableSearchMetrics()
+
+			hits := 0
+			for _, r := range recs[:500] {
+				v, ok := o.Get(r.Key)
+				if !ok || v != r.Value {
+					t.Fatalf("Get(%d) = (%d, %v), want (%d, true)", r.Key, v, ok, r.Value)
+				}
+				hits++
+			}
+			if _, ok := o.Get(recs[len(recs)-1].Key + 1); ok {
+				t.Fatal("Get(absent) hit")
+			}
+			got := 0
+			o.Range(recs[10].Key, recs[20].Key, func(Key, Value) bool { got++; return true })
+			if got != 11 {
+				t.Fatalf("Range visited %d, want 11", got)
+			}
+			DisableSearchMetrics()
+
+			s := m.Snapshot()
+			if s.Counters["lookups"] != 501 || s.Counters["hits"] != 500 {
+				t.Fatalf("lookups=%d hits=%d, want 501/500", s.Counters["lookups"], s.Counters["hits"])
+			}
+			if s.Counters["ranges"] != 1 {
+				t.Fatalf("ranges = %d, want 1", s.Counters["ranges"])
+			}
+			if c := s.Histograms["get_ns"].Count; c != 501 {
+				t.Fatalf("get_ns count = %d, want 501", c)
+			}
+			if c := s.Histograms["range_ns"].Count; c != 1 {
+				t.Fatalf("range_ns count = %d, want 1", c)
+			}
+			if s.Histograms["range_len"].Max != 11 {
+				t.Fatalf("range_len max = %d, want 11", s.Histograms["range_len"].Max)
+			}
+			// Every surveyed kind must feed the correction-cost histograms:
+			// the learned ones through core.SearchRange/ExponentialSearch,
+			// LIPP through its recorded descent (probes = node hops).
+			if c := s.Histograms["search_probes"].Count; c == 0 {
+				t.Fatal("no probe counts recorded")
+			}
+			if c := s.Histograms["search_window"].Count; c == 0 {
+				t.Fatal("no error-window widths recorded")
+			}
+			if b.kind == "lipp" {
+				if p50 := s.Histograms["search_probes"].P50; p50 < 1 {
+					t.Fatalf("lipp descent p50 = %d, want >= 1", p50)
+				}
+			}
+		})
+	}
+}
+
+// TestObserveMutableRecordsWritesAndEvents checks the write-side histograms
+// and that structural events flow from inside the index into the bundle.
+func TestObserveMutableRecordsWritesAndEvents(t *testing.T) {
+	cases := []struct {
+		kind      string
+		wantEvent EventType
+	}{
+		{"alex", EvNodeSplit},
+		{"lipp", EvNodeSplit},
+		{"pgm-dynamic", EvBufferFlush},
+		{"fiting", EvBufferMerge},
+		{"learned-lsm", EvBufferFlush},
+	}
+	for _, c := range cases {
+		t.Run(c.kind, func(t *testing.T) {
+			idx, err := BuildMutable1D(c.kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := NewMetrics(c.kind)
+			o := ObserveMutable(idx, m)
+			// A scrambled insert order provokes structural adaptation.
+			const n = 20000
+			for i := 0; i < n; i++ {
+				k := Key((i * 2654435761) % (8 * n))
+				o.Insert(k, Value(i))
+			}
+			o.Delete(Key(0))
+			s := m.Snapshot()
+			if s.Counters["inserts"] != n || s.Counters["deletes"] != 1 {
+				t.Fatalf("inserts=%d deletes=%d", s.Counters["inserts"], s.Counters["deletes"])
+			}
+			if c := s.Histograms["insert_ns"].Count; c != n {
+				t.Fatalf("insert_ns count = %d, want %d", c, n)
+			}
+			if c := s.Histograms["delete_ns"].Count; c != 1 {
+				t.Fatalf("delete_ns count = %d, want 1", c)
+			}
+			if got := m.Events.Count(c.wantEvent); got == 0 {
+				t.Fatalf("no %v events recorded", c.wantEvent)
+			}
+		})
+	}
+}
+
+// TestObserveXIndexEvents covers the concurrent index separately: its
+// compactions retrain groups and swap the root RCU-style.
+func TestObserveXIndexEvents(t *testing.T) {
+	ix := NewXIndex(64, 16)
+	m := NewMetrics("xindex")
+	ix.SetObserver(m)
+	for i := 0; i < 5000; i++ {
+		ix.Insert(Key((i*2654435761)%100000), Value(i))
+	}
+	if m.Events.Count(EvCompaction) == 0 {
+		t.Fatal("no compaction events")
+	}
+	if m.Events.Count(EvRetrain) == 0 {
+		t.Fatal("no retrain events")
+	}
+	if m.Events.Count(EvRCUSwap) == 0 {
+		t.Fatal("no RCU swap events")
+	}
+}
+
+// TestObserveTransparency checks the non-recording forwards.
+func TestObserveTransparency(t *testing.T) {
+	recs := obsTestRecs(100)
+	base := NewSortedArray(recs)
+	m := NewMetrics("t")
+	o := Observe(base, m)
+	if o.Len() != base.Len() {
+		t.Fatalf("Len = %d, want %d", o.Len(), base.Len())
+	}
+	if o.Stats() != base.Stats() {
+		t.Fatalf("Stats = %v, want %v", o.Stats(), base.Stats())
+	}
+	if o.Unwrap() != base {
+		t.Fatal("Unwrap lost the index")
+	}
+	if o.Metrics() != m {
+		t.Fatal("Metrics lost the bundle")
+	}
+	// CheckInvariants must see through the wrapper to the sorted array's
+	// own self-check.
+	if err := CheckInvariants(o); err != nil {
+		t.Fatalf("CheckInvariants through wrapper: %v", err)
+	}
+}
+
+// TestDriftClosedLoop wires the live correction-cost stream into a drift
+// detector and asserts the loop closes: wide error windows trip the
+// detector, which fires the retrain callback and publishes EvDriftTrip.
+func TestDriftClosedLoop(t *testing.T) {
+	recs := obsTestRecs(4000)
+	ix, err := NewPGM(recs, 64) // wide eps -> wide windows -> high cost
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics("pgm")
+	det, err := NewDriftEWMA(1.0, 2.0, 0.5) // trips once smoothed cost > 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	retrained := false
+	m.SetDriftDetector(det, func() { retrained = true })
+	o := Observe(ix, m)
+	EnableSearchMetrics(m)
+	defer DisableSearchMetrics()
+	for _, r := range recs[:200] {
+		o.Get(r.Key)
+	}
+	DisableSearchMetrics()
+	if !retrained {
+		t.Fatal("drift detector never tripped on wide-window lookups")
+	}
+	if !m.DriftTripped() {
+		t.Fatal("DriftTripped not latched")
+	}
+	if m.Events.Count(EvDriftTrip) != 1 {
+		t.Fatalf("EvDriftTrip count = %d, want 1 (latched)", m.Events.Count(EvDriftTrip))
+	}
+	// Re-arm (as a retrain would) and confirm the loop can trip again.
+	m.ReArmDrift()
+	det.Reset(1.0)
+	EnableSearchMetrics(m)
+	for _, r := range recs[:200] {
+		o.Get(r.Key)
+	}
+	DisableSearchMetrics()
+	if m.Events.Count(EvDriftTrip) != 2 {
+		t.Fatalf("EvDriftTrip after re-arm = %d, want 2", m.Events.Count(EvDriftTrip))
+	}
+}
+
+// TestWriteMetricsPrometheus smoke-tests the public text rendering.
+func TestWriteMetricsPrometheus(t *testing.T) {
+	m := NewMetrics("demo")
+	o := Observe(NewSortedArray(obsTestRecs(10)), m)
+	o.Get(7)
+	var buf bytes.Buffer
+	if err := WriteMetricsPrometheus(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lix_lookups_total{index="demo"} 1`,
+		`lix_get_ns_count{index="demo"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
