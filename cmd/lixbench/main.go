@@ -7,6 +7,17 @@
 //	lixbench -e all -n 100000 # whole suite at a custom dataset size
 //	lixbench -list            # list experiments
 //
+// Sharded serving mode and the benchmark regression harness:
+//
+//	lixbench -shards 8 -concurrency 8          # serving throughput table
+//	                                           # (baseline vs sharded vs
+//	                                           # xindex, 95/5 and 50/50)
+//	lixbench -shards 8 -concurrency 8 -rev abc -bench-out .
+//	                                           # also write BENCH_abc.json
+//	lixbench -compare BENCH_old.json,BENCH_new.json
+//	                                           # exit 1 if any result
+//	                                           # regressed by >15%
+//
 // Profiling and metrics:
 //
 //	lixbench -e E4 -cpuprofile cpu.out   # write a pprof CPU profile
@@ -25,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -57,12 +69,27 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write run metrics JSON to this file")
 		cpuOut     = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memOut     = flag.String("memprofile", "", "write a pprof heap profile to this file")
+
+		shards      = flag.Int("shards", 0, "serving mode: shard count (enables the serving benchmark)")
+		concurrency = flag.Int("concurrency", 0, "serving mode: worker goroutines (enables the serving benchmark)")
+		rev         = flag.String("rev", "dev", "revision label for -bench-out")
+		benchOut    = flag.String("bench-out", "", "serving mode: write BENCH_<rev>.json into this directory")
+		compare     = flag.String("compare", "", "compare two bench files, 'old.json,new.json'; exit 1 on >15% regression")
 	)
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(bench.IDs(), " "))
 		return
 	}
+	if *compare != "" {
+		compareBenchFiles(*compare)
+		return
+	}
+	if *shards > 0 || *concurrency > 0 {
+		runServing(*shards, *concurrency, *n, *q, *seed, *quick, *rev, *benchOut)
+		return
+	}
+
 	cfg := bench.DefaultConfig()
 	if *quick {
 		cfg = bench.QuickConfig()
@@ -137,6 +164,82 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// runServing executes the sharded serving benchmark (lixbench -shards N
+// -concurrency W) and optionally writes a BENCH_<rev>.json for -compare.
+func runServing(shards, workers, n, q int, seed int64, quick bool, rev, outDir string) {
+	cfg := bench.DefaultServingConfig()
+	if quick {
+		cfg.N, cfg.OpsPerWorker = 100_000, 20_000
+	}
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	if n > 0 {
+		cfg.N = n
+	}
+	if q > 0 {
+		cfg.OpsPerWorker = q
+	}
+	cfg.Seed = seed
+
+	tables, rows, err := bench.RunServing(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	if outDir != "" {
+		f := bench.ServingBenchFile(rev, cfg, rows)
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(outDir, "BENCH_"+rev+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// compareBenchFiles implements -compare old.json,new.json: print every
+// delta and exit non-zero if any throughput regressed past 15%.
+func compareBenchFiles(spec string) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fatal(fmt.Errorf("-compare wants 'old.json,new.json', got %q", spec))
+	}
+	read := func(path string) bench.BenchFile {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		var f bench.BenchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		return f
+	}
+	oldF, newF := read(strings.TrimSpace(parts[0])), read(strings.TrimSpace(parts[1]))
+	regs, notes := bench.CompareBenchFiles(oldF, newF, 0.15)
+	fmt.Printf("comparing %s (%s) -> %s (%s)\n", parts[0], oldF.Rev, parts[1], newF.Rev)
+	for _, n := range notes {
+		fmt.Println("  ", n)
+	}
+	for _, r := range regs {
+		fmt.Println("  REGRESSION:", r)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "lixbench: %d result(s) regressed by more than 15%%\n", len(regs))
+		os.Exit(1)
+	}
+	fmt.Println("no regressions past 15%")
 }
 
 func fatal(err error) {

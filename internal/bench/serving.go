@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	lix "github.com/lix-go/lix"
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+// ServingConfig sizes the sharded-serving throughput benchmark (lixbench
+// -shards/-concurrency).
+type ServingConfig struct {
+	// N is the preloaded dataset size.
+	N int `json:"n"`
+	// OpsPerWorker is the operation count each worker goroutine issues.
+	OpsPerWorker int `json:"ops_per_worker"`
+	// Workers is the concurrent goroutine count.
+	Workers int `json:"workers"`
+	// Shards is the shard count of the sharded systems.
+	Shards int `json:"shards"`
+	// Seed drives key generation and op mixing.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultServingConfig is the scale used for the DESIGN.md scaling table.
+func DefaultServingConfig() ServingConfig {
+	return ServingConfig{N: 1_000_000, OpsPerWorker: 200_000, Workers: 8, Shards: 8, Seed: 7}
+}
+
+// ServingRow is one measured (system, workload) cell, the unit the
+// regression harness compares across revisions.
+type ServingRow struct {
+	System   string  `json:"system"`
+	Workload string  `json:"workload"` // read/write mix, e.g. "95/5"
+	Workers  int     `json:"workers"`
+	Shards   int     `json:"shards"`
+	Mops     float64 `json:"mops"` // aggregate throughput, million ops/s
+}
+
+// servingSystem is one system under test: a display name plus a builder
+// returning the get/put closures the workload drives.
+type servingSystem struct {
+	name  string
+	build func(recs []core.KV) (get func(core.Key) (core.Value, bool), put func(core.Key, core.Value), err error)
+}
+
+func servingSystems(cfg ServingConfig) []servingSystem {
+	return []servingSystem{
+		{
+			// The single-mutex baseline every sharded number is judged
+			// against: one B+-tree behind one RWMutex.
+			name: "btree+mutex",
+			build: func(recs []core.KV) (func(core.Key) (core.Value, bool), func(core.Key, core.Value), error) {
+				ix, err := lix.BulkBTree(0, recs)
+				if err != nil {
+					return nil, nil, err
+				}
+				var mu sync.RWMutex
+				get := func(k core.Key) (core.Value, bool) {
+					mu.RLock()
+					v, ok := ix.Get(k)
+					mu.RUnlock()
+					return v, ok
+				}
+				put := func(k core.Key, v core.Value) {
+					mu.Lock()
+					ix.Insert(k, v)
+					mu.Unlock()
+				}
+				return get, put, nil
+			},
+		},
+		{
+			name: fmt.Sprintf("sharded-rw(%d)", cfg.Shards),
+			build: func(recs []core.KV) (func(core.Key) (core.Value, bool), func(core.Key, core.Value), error) {
+				s, err := lix.NewSharded(recs, lix.ShardedConfig{Shards: cfg.Shards})
+				if err != nil {
+					return nil, nil, err
+				}
+				return s.Get, s.Insert, nil
+			},
+		},
+		{
+			name: fmt.Sprintf("sharded-rcu(%d)", cfg.Shards),
+			build: func(recs []core.KV) (func(core.Key) (core.Value, bool), func(core.Key, core.Value), error) {
+				s, err := lix.NewSharded(recs, lix.ShardedConfig{Shards: cfg.Shards, Mode: lix.ShardRCU, DeltaCap: 8192})
+				if err != nil {
+					return nil, nil, err
+				}
+				return s.Get, s.Insert, nil
+			},
+		},
+		{
+			name: "xindex",
+			build: func(recs []core.KV) (func(core.Key) (core.Value, bool), func(core.Key, core.Value), error) {
+				x, err := lix.BulkXIndex(recs, 0, 0)
+				if err != nil {
+					return nil, nil, err
+				}
+				return x.Get, x.Insert, nil
+			},
+		},
+	}
+}
+
+// RunServing measures aggregate mixed-workload throughput (95/5 and 50/50
+// read/write) for the single-mutex baseline, both sharded modes and
+// XIndex, at the configured worker count. It returns the rendered table
+// plus the raw rows for the regression harness.
+func RunServing(cfg ServingConfig) ([]*Table, []ServingRow, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	keys := mustKeys(dataset.Uniform, cfg.N, cfg.Seed)
+	recs := dataset.KV(keys)
+	mixes := []struct {
+		name    string
+		readPct float64
+	}{{"95/5", 0.95}, {"50/50", 0.50}}
+
+	t := &Table{
+		ID:    "SERVE",
+		Title: fmt.Sprintf("Sharded serving throughput, %d workers, %d shards, n=%d (Mops/s aggregate)", cfg.Workers, cfg.Shards, cfg.N),
+		Columns: []string{"system", "95/5 Mops", "50/50 Mops"},
+	}
+	var rows []ServingRow
+	for _, sys := range servingSystems(cfg) {
+		cells := []interface{}{sys.name}
+		for _, mix := range mixes {
+			// A fresh instance per mix: writes mutate the structure and a
+			// 50/50 run must not inherit a 95/5 run's growth.
+			get, put, err := sys.build(recs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: build %s: %w", sys.name, err)
+			}
+			mops := runMixed(keys, cfg, mix.readPct, get, put)
+			cells = append(cells, mops)
+			rows = append(rows, ServingRow{
+				System: sys.name, Workload: mix.name,
+				Workers: cfg.Workers, Shards: cfg.Shards, Mops: mops,
+			})
+		}
+		t.AddRow(cells...)
+	}
+	return []*Table{t}, rows, nil
+}
+
+// runMixed drives cfg.Workers goroutines of the given read/write mix and
+// returns aggregate Mops/s.
+func runMixed(keys []core.Key, cfg ServingConfig, readPct float64, get func(core.Key) (core.Value, bool), put func(core.Key, core.Value)) float64 {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := newRand(cfg.Seed + 31*int64(id))
+			for o := 0; o < cfg.OpsPerWorker; o++ {
+				k := keys[r.Intn(len(keys))]
+				if r.Float64() < readPct {
+					get(k)
+				} else {
+					put(k, core.Value(o))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := float64(cfg.OpsPerWorker * cfg.Workers)
+	return total / float64(time.Since(start).Nanoseconds()) * 1000
+}
+
+// ---------------------------------------------------------------------------
+// Regression harness
+// ---------------------------------------------------------------------------
+
+// BenchResult is one named throughput measurement inside a BenchFile.
+type BenchResult struct {
+	Name      string  `json:"name"` // "serving/<workload>/<system>"
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// BenchFile is the BENCH_<rev>.json document lixbench emits and compares.
+type BenchFile struct {
+	Rev     string        `json:"rev"`
+	Config  ServingConfig `json:"config"`
+	Results []BenchResult `json:"results"`
+}
+
+// ServingBenchFile packages serving rows as a regression-comparable file.
+func ServingBenchFile(rev string, cfg ServingConfig, rows []ServingRow) BenchFile {
+	f := BenchFile{Rev: rev, Config: cfg}
+	for _, r := range rows {
+		f.Results = append(f.Results, BenchResult{
+			Name:      fmt.Sprintf("serving/%s/%s", r.Workload, r.System),
+			OpsPerSec: r.Mops * 1e6,
+		})
+	}
+	return f
+}
+
+// CompareBenchFiles flags results whose throughput dropped by more than
+// threshold (a fraction, e.g. 0.15 for 15%) between old and new. Results
+// present on only one side are reported informationally, not as
+// regressions. The returned slices are human-readable report lines.
+func CompareBenchFiles(old, new BenchFile, threshold float64) (regressions, notes []string) {
+	oldByName := make(map[string]BenchResult, len(old.Results))
+	for _, r := range old.Results {
+		oldByName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(new.Results))
+	for _, nr := range new.Results {
+		seen[nr.Name] = true
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("new result %s (%.3g ops/s), no baseline", nr.Name, nr.OpsPerSec))
+			continue
+		}
+		if or.OpsPerSec <= 0 {
+			notes = append(notes, fmt.Sprintf("%s: baseline is zero, skipping", nr.Name))
+			continue
+		}
+		change := nr.OpsPerSec/or.OpsPerSec - 1
+		line := fmt.Sprintf("%s: %.3g -> %.3g ops/s (%+.1f%%)", nr.Name, or.OpsPerSec, nr.OpsPerSec, 100*change)
+		if change < -threshold {
+			regressions = append(regressions, line)
+		} else {
+			notes = append(notes, line)
+		}
+	}
+	for name := range oldByName {
+		if !seen[name] {
+			notes = append(notes, fmt.Sprintf("baseline result %s missing from new run", name))
+		}
+	}
+	sort.Strings(regressions)
+	sort.Strings(notes)
+	return regressions, notes
+}

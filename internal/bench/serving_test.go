@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunServingSmoke runs the serving benchmark at toy scale: every
+// system must produce a positive throughput for both workloads.
+func TestRunServingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving smoke benchmark skipped in -short mode")
+	}
+	cfg := ServingConfig{N: 2000, OpsPerWorker: 500, Workers: 2, Shards: 4, Seed: 3}
+	tables, rows, err := RunServing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d, want 1", len(tables))
+	}
+	if want := 4 * 2; len(rows) != want { // 4 systems x 2 workloads
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Mops <= 0 {
+			t.Fatalf("%s/%s: Mops = %v, want > 0", r.System, r.Workload, r.Mops)
+		}
+	}
+	f := ServingBenchFile("test", cfg, rows)
+	if len(f.Results) != len(rows) {
+		t.Fatalf("bench file results = %d, want %d", len(f.Results), len(rows))
+	}
+}
+
+func TestCompareBenchFiles(t *testing.T) {
+	old := BenchFile{Rev: "a", Results: []BenchResult{
+		{Name: "serving/95/x", OpsPerSec: 100},
+		{Name: "serving/95/y", OpsPerSec: 100},
+		{Name: "serving/95/gone", OpsPerSec: 50},
+		{Name: "serving/95/zero", OpsPerSec: 0},
+	}}
+	cur := BenchFile{Rev: "b", Results: []BenchResult{
+		{Name: "serving/95/x", OpsPerSec: 80},  // -20%: regression at 15%
+		{Name: "serving/95/y", OpsPerSec: 90},  // -10%: within threshold
+		{Name: "serving/95/new", OpsPerSec: 10}, // no baseline
+		{Name: "serving/95/zero", OpsPerSec: 10},
+	}}
+	regs, notes := CompareBenchFiles(old, cur, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "serving/95/x") {
+		t.Fatalf("regressions = %v, want exactly serving/95/x", regs)
+	}
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{"serving/95/y", "no baseline", "missing from new run", "baseline is zero"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("notes missing %q:\n%s", want, joined)
+		}
+	}
+	// At a looser threshold the -20% drop is acceptable.
+	regs, _ = CompareBenchFiles(old, cur, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("regressions at 25%% threshold = %v, want none", regs)
+	}
+}

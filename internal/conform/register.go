@@ -80,6 +80,25 @@ func init() {
 		// splits, not just the delta buffer.
 		return lix.NewXIndex(512, 64)
 	})
+
+	// The sharded serving layer, registered with a bulk-building factory so
+	// the router splits at the workload's key quantiles and every replay
+	// crosses shard boundaries. Shard counts and delta caps are small so
+	// 5k-op workloads force cross-shard ranges and RCU snapshot swaps.
+	Register(Factory{
+		Name: "sharded-rw",
+		Caps: Caps{Mutable: true, AllowsEmpty: true},
+		Build1D: func(recs []core.KV) (Index, error) {
+			return lix.NewSharded(recs, lix.ShardedConfig{Shards: 4})
+		},
+	})
+	Register(Factory{
+		Name: "sharded-rcu",
+		Caps: Caps{Mutable: true, AllowsEmpty: true},
+		Build1D: func(recs []core.KV) (Index, error) {
+			return lix.NewSharded(recs, lix.ShardedConfig{Shards: 4, Mode: lix.ShardRCU, DeltaCap: 32})
+		},
+	})
 }
 
 // mutableSpatial registers a mutable spatial factory preloaded by inserts.

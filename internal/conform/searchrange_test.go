@@ -1,0 +1,54 @@
+package conform
+
+import (
+	"math"
+	"testing"
+
+	lix "github.com/lix-go/lix"
+	"github.com/lix-go/lix/internal/core"
+)
+
+// TestSearchRangeEmptyNormalization pins the façade-wide empty-result
+// contract: lix.SearchRange returns an empty non-nil slice — never nil —
+// for an empty index, an empty interval, a gap query, and (through the
+// sharded fan-out) empty shards. Before the helper existed, collecting a
+// range from an empty index yielded nil from some implementations and
+// []KV{} from others, and callers using reflect.DeepEqual or JSON
+// round-trips diverged on which they got.
+func TestSearchRangeEmptyNormalization(t *testing.T) {
+	check := func(t *testing.T, name string, got []core.KV) {
+		t.Helper()
+		if got == nil {
+			t.Fatalf("%s: SearchRange returned nil, want empty slice", name)
+		}
+		if len(got) != 0 {
+			t.Fatalf("%s: SearchRange returned %d records, want 0", name, len(got))
+		}
+	}
+	for _, f := range Factories1D() {
+		if !f.Caps.AllowsEmpty {
+			continue
+		}
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			ix, err := f.Build1D(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, "empty index", lix.SearchRange(ix, 0, math.MaxUint64))
+			check(t, "inverted interval", lix.SearchRange(ix, 10, 5))
+
+			// Rebuild with two extreme records: a gap query between them
+			// must still normalize, and a spanning query must see both.
+			ix2, err := f.Build1D([]core.KV{{Key: 1, Value: 10}, {Key: math.MaxUint64, Value: 20}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, "gap query", lix.SearchRange(ix2, 100, 1000))
+			got := lix.SearchRange(ix2, 0, math.MaxUint64)
+			if len(got) != 2 || got[0].Key != 1 || got[1].Key != math.MaxUint64 {
+				t.Fatalf("spanning query = %v", got)
+			}
+		})
+	}
+}

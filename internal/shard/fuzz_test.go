@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// FuzzShardRouter proves the key→shard partitioner is total, stable and
+// order-preserving: every key routes to exactly one in-range shard, the
+// routing is a pure function of the key, Route is monotone in the key, and
+// Owns() intervals tile the key space with no key lost or double-owned —
+// including boundary keys 0 and MaxUint64 and duplicate split keys.
+func FuzzShardRouter(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1}, uint8(4))
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(2))
+	f.Add([]byte{1, 2, 3}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, extra uint8) {
+		// Decode the corpus bytes into split keys, then adversarially add
+		// the extremes and a duplicate so every run exercises them.
+		var splits []core.Key
+		for i := 0; i+8 <= len(raw) && len(splits) < 64; i += 8 {
+			splits = append(splits, binary.LittleEndian.Uint64(raw[i:]))
+		}
+		if extra%2 == 0 {
+			splits = append(splits, 0, math.MaxUint64)
+		}
+		if len(splits) > 0 {
+			splits = append(splits, splits[0]) // duplicate boundary
+		}
+		r := NewRouter(splits)
+		n := r.Shards()
+		if n != len(splits)+1 {
+			t.Fatalf("Shards() = %d with %d splits", n, len(splits))
+		}
+
+		probes := []core.Key{0, 1, math.MaxUint64 - 1, math.MaxUint64}
+		for _, b := range r.Bounds() {
+			probes = append(probes, b)
+			if b > 0 {
+				probes = append(probes, b-1)
+			}
+			if b < math.MaxUint64 {
+				probes = append(probes, b+1)
+			}
+		}
+
+		for _, k := range probes {
+			si := r.Route(k)
+			// Total: every key routes to an in-range shard.
+			if si < 0 || si >= n {
+				t.Fatalf("Route(%d) = %d, out of [0,%d)", k, si, n)
+			}
+			// Stable: routing is a pure function of the key.
+			if again := r.Route(k); again != si {
+				t.Fatalf("Route(%d) unstable: %d then %d", k, si, again)
+			}
+			// Owned exactly once: the routed shard's interval contains k,
+			// and no other shard's interval does.
+			owners := 0
+			for i := 0; i < n; i++ {
+				lo, hi, ok := r.Owns(i)
+				if ok && k >= lo && k <= hi {
+					owners++
+					if i != si {
+						t.Fatalf("key %d routes to %d but is owned by %d", k, si, i)
+					}
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("key %d owned by %d shards", k, owners)
+			}
+		}
+
+		// Order-preserving across the probe set.
+		for _, a := range probes {
+			for _, b := range probes {
+				if a <= b && r.Route(a) > r.Route(b) {
+					t.Fatalf("Route not monotone: Route(%d)=%d > Route(%d)=%d",
+						a, r.Route(a), b, r.Route(b))
+				}
+			}
+		}
+
+		// Owns() intervals must tile: consecutive non-empty intervals are
+		// adjacent, starting at 0 and ending at MaxUint64.
+		expectLo := core.Key(0)
+		last := core.Key(0)
+		any := false
+		for i := 0; i < n; i++ {
+			lo, hi, ok := r.Owns(i)
+			if !ok {
+				continue
+			}
+			if lo != expectLo {
+				t.Fatalf("shard %d starts at %d, want %d (gap or overlap)", i, lo, expectLo)
+			}
+			if hi < math.MaxUint64 {
+				expectLo = hi + 1
+			} else {
+				expectLo = 0 // sentinel; must be the last non-empty interval
+			}
+			last = hi
+			any = true
+		}
+		if !any || last != math.MaxUint64 {
+			t.Fatalf("intervals do not cover the key space (last hi = %d)", last)
+		}
+	})
+}

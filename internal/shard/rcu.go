@@ -1,0 +1,240 @@
+package shard
+
+import (
+	"sort"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
+)
+
+// The RCU shard keeps two atomically-published immutable values: the
+// snapshot (sorted records + a read-optimized index over them) and a small
+// sorted delta of copy-on-write records with tombstones. Load order
+// matters: readers load the delta FIRST, then the snapshot, while the
+// merging writer stores the new snapshot BEFORE clearing the delta. With
+// Go's sequentially-consistent atomics a reader that observes the emptied
+// delta therefore always observes the merged snapshot; a reader that pairs
+// a stale delta with the new snapshot only re-observes records the merge
+// already applied, which the delta-wins rule absorbs.
+
+// deltaFind binary-searches d (sorted by key) for k.
+func deltaFind(d []deltaRec, k core.Key) (int, bool) {
+	i := sort.Search(len(d), func(i int) bool { return d[i].key >= k })
+	return i, i < len(d) && d[i].key == k
+}
+
+func (sh *rcuShard) get(k core.Key) (core.Value, bool) {
+	d := *sh.delta.Load() // before the snapshot load — see package comment
+	if i, ok := deltaFind(d, k); ok {
+		if d[i].del {
+			return 0, false
+		}
+		return d[i].val, true
+	}
+	return sh.snap.Load().ix.Get(k)
+}
+
+// present reports whether k is live, used by writers (under mu) to
+// maintain the size counter and Delete's return value.
+func (sh *rcuShard) present(k core.Key) bool {
+	_, ok := sh.get(k)
+	return ok
+}
+
+func (sh *rcuShard) insert(k core.Key, v core.Value) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.applyLocked([]deltaRec{{key: k, val: v}})
+}
+
+func (sh *rcuShard) insertBatch(recs []core.KV) {
+	if len(recs) == 0 {
+		return
+	}
+	d := make([]deltaRec, len(recs))
+	for i, r := range recs {
+		d[i] = deltaRec{key: r.Key, val: r.Value}
+	}
+	// The sort must be stable: equal keys keep their batch order, so the
+	// dedup below can keep the later record, as a sequential upsert loop
+	// would have it. (A plain sort.Slice here once made the FIRST of two
+	// equal-key records win; the conform stress tier shrank that to a
+	// two-insert repro.)
+	sort.SliceStable(d, func(i, j int) bool { return d[i].key < d[j].key })
+	out := d[:0]
+	for _, r := range d {
+		if len(out) > 0 && out[len(out)-1].key == r.key {
+			out[len(out)-1] = r
+			continue
+		}
+		out = append(out, r)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.applyLocked(out)
+}
+
+func (sh *rcuShard) delete(k core.Key) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.present(k) {
+		return false
+	}
+	sh.applyLocked([]deltaRec{{key: k, del: true}})
+	return true
+}
+
+// applyLocked merges updates (sorted by key, distinct) into a new delta
+// and publishes it, then merges into a fresh snapshot if the delta
+// overflowed. Caller holds sh.mu.
+func (sh *rcuShard) applyLocked(updates []deltaRec) {
+	old := *sh.delta.Load()
+	merged := make([]deltaRec, 0, len(old)+len(updates))
+	i, j := 0, 0
+	var sizeDelta int64
+	for i < len(old) || j < len(updates) {
+		switch {
+		case j >= len(updates) || (i < len(old) && old[i].key < updates[j].key):
+			merged = append(merged, old[i])
+			i++
+		case i >= len(old) || updates[j].key < old[i].key:
+			u := updates[j]
+			// Key not in the old delta: liveness change depends on the
+			// snapshot.
+			_, inSnap := sh.snap.Load().ix.Get(u.key)
+			if u.del {
+				if inSnap {
+					sizeDelta--
+				} else {
+					j++
+					continue // tombstone for an absent key: drop it
+				}
+			} else if !inSnap {
+				sizeDelta++
+			}
+			merged = append(merged, u)
+			j++
+		default: // equal keys: the update wins
+			wasLive, isLive := !old[i].del, !updates[j].del
+			if wasLive && !isLive {
+				sizeDelta--
+			} else if !wasLive && isLive {
+				sizeDelta++
+			}
+			merged = append(merged, updates[j])
+			i, j = i+1, j+1
+		}
+	}
+	sh.delta.Store(&merged)
+	sh.size.Add(sizeDelta)
+	if len(merged) >= sh.cap {
+		sh.mergeLocked(merged)
+	}
+}
+
+// mergeLocked folds the delta into the snapshot records, rebuilds the
+// read-optimized index, swaps the snapshot pointer and resets the delta —
+// the RCU swap. Caller holds sh.mu.
+func (sh *rcuShard) mergeLocked(delta []deltaRec) {
+	snap := sh.snap.Load()
+	merged := make([]core.KV, 0, len(snap.recs)+len(delta))
+	i, j := 0, 0
+	for i < len(snap.recs) || j < len(delta) {
+		switch {
+		case j >= len(delta) || (i < len(snap.recs) && snap.recs[i].Key < delta[j].key):
+			merged = append(merged, snap.recs[i])
+			i++
+		case i >= len(snap.recs) || delta[j].key < snap.recs[i].Key:
+			if !delta[j].del {
+				merged = append(merged, core.KV{Key: delta[j].key, Value: delta[j].val})
+			}
+			j++
+		default:
+			if !delta[j].del {
+				merged = append(merged, core.KV{Key: delta[j].key, Value: delta[j].val})
+			}
+			i, j = i+1, j+1
+		}
+	}
+	ix, err := sh.build(merged)
+	if err != nil {
+		// The snapshot builder accepted these records at bulk-build time;
+		// failing mid-serve has no recovery path that preserves reads, so
+		// keep serving the old snapshot + delta (correct, just unmerged).
+		return
+	}
+	sh.snap.Store(&snapshot{recs: merged, ix: ix})
+	empty := []deltaRec{}
+	sh.delta.Store(&empty)
+	sh.swaps.Add(1)
+	sh.emitSwap(len(merged))
+}
+
+func (sh *rcuShard) emitSwap(n int) {
+	p := sh.parent
+	detail := "shard=" + itoa(sh.id)
+	p.hook.Emit(obs.EvRCUSwap, n, detail)
+	if p.mets != nil {
+		p.mets[sh.id].Event(obs.Event{Type: obs.EvRCUSwap, N: n, Detail: detail})
+	}
+}
+
+// itoa avoids strconv for this one hot-adjacent call site.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// rangeScan merge-iterates the snapshot record window and the delta window
+// in ascending key order, delta winning on equal keys and tombstones
+// skipped.
+func (sh *rcuShard) rangeScan(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	d := *sh.delta.Load() // before the snapshot load — see package comment
+	snap := sh.snap.Load()
+	recs := snap.recs
+	i := core.LowerBoundKV(recs, lo)
+	j, _ := deltaFind(d, lo)
+	count := 0
+	for i < len(recs) || j < len(d) {
+		snapOK := i < len(recs) && recs[i].Key <= hi
+		deltaOK := j < len(d) && d[j].key <= hi
+		if !snapOK && !deltaOK {
+			break
+		}
+		var k core.Key
+		var v core.Value
+		switch {
+		case !deltaOK || (snapOK && recs[i].Key < d[j].key):
+			k, v = recs[i].Key, recs[i].Value
+			i++
+		case !snapOK || d[j].key < recs[i].Key:
+			if d[j].del {
+				j++
+				continue
+			}
+			k, v = d[j].key, d[j].val
+			j++
+		default: // equal: delta wins
+			del := d[j].del
+			k, v = d[j].key, d[j].val
+			i, j = i+1, j+1
+			if del {
+				continue
+			}
+		}
+		count++
+		if !fn(k, v) {
+			break
+		}
+	}
+	return count
+}

@@ -1,0 +1,578 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
+)
+
+// Index mirrors the public one-dimensional read interface structurally
+// (like internal/conform does), so this package does not depend on the
+// façade's named types.
+type Index interface {
+	Get(k core.Key) (core.Value, bool)
+	Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int
+	Len() int
+	Stats() core.Stats
+}
+
+// MutableIndex is an Index supporting upserts and deletes.
+type MutableIndex interface {
+	Index
+	Insert(k core.Key, v core.Value)
+	Delete(k core.Key) bool
+}
+
+// LockMode selects the per-shard concurrency scheme.
+type LockMode uint8
+
+// The lock modes.
+const (
+	// LockRW guards each shard's mutable index with a sync.RWMutex.
+	LockRW LockMode = iota
+	// LockRCU keeps each shard as an immutable snapshot + copy-on-write
+	// delta behind atomic pointers: reads are lock-free, writers serialize
+	// per shard and swap a freshly built snapshot when the delta fills.
+	LockRCU
+)
+
+func (m LockMode) String() string {
+	switch m {
+	case LockRW:
+		return "rw"
+	case LockRCU:
+		return "rcu"
+	}
+	return fmt.Sprintf("LockMode(%d)", uint8(m))
+}
+
+// DefaultDeltaCap is the LockRCU delta size that triggers a snapshot merge
+// when Config.DeltaCap is zero.
+const DefaultDeltaCap = 1024
+
+// Config sizes a Sharded instance.
+type Config struct {
+	// Shards is the shard count (default 8).
+	Shards int
+	// Mode selects the per-shard concurrency scheme (default LockRW).
+	Mode LockMode
+	// DeltaCap is the per-shard delta size that triggers an RCU snapshot
+	// merge (LockRCU only; 0 selects DefaultDeltaCap).
+	DeltaCap int
+	// MetricsPrefix, when non-empty, attaches one obs.Metrics bundle per
+	// shard named "<prefix>-shard<i>"; per-op counters and latency
+	// histograms are recorded into the owning shard's bundle and
+	// structural events (RCU swaps) are routed there too.
+	MetricsPrefix string
+}
+
+// Builders supplies the per-shard index constructors. LockRW requires New
+// (Bulk optional, used for bulk builds); LockRCU requires Static.
+type Builders struct {
+	// New returns an empty mutable shard backend (LockRW).
+	New func() (MutableIndex, error)
+	// Bulk builds a mutable shard backend over sorted records (LockRW);
+	// nil falls back to New plus per-record inserts.
+	Bulk func(recs []core.KV) (MutableIndex, error)
+	// Static builds an immutable RCU snapshot over sorted records
+	// (LockRCU). It must accept an empty record set.
+	Static func(recs []core.KV) (Index, error)
+}
+
+// Sharded is the range-partitioned concurrent front-end. All methods are
+// safe for concurrent use.
+type Sharded struct {
+	mode   LockMode
+	router Router
+	rw     []*rwShard
+	rcu    []*rcuShard
+	hook   obs.Hook // external recorder for structural events
+	mets   []*obs.Metrics
+}
+
+// rwShard is one LockRW shard.
+type rwShard struct {
+	mu sync.RWMutex
+	ix MutableIndex
+}
+
+// snapshot is the immutable read side of one LockRCU shard: the sorted
+// records and a read-optimized index built over them. recs is never
+// mutated after publication.
+type snapshot struct {
+	recs []core.KV
+	ix   Index
+}
+
+// deltaRec is one copy-on-write delta entry; del marks a tombstone.
+type deltaRec struct {
+	key core.Key
+	val core.Value
+	del bool
+}
+
+// rcuShard is one LockRCU shard. Readers load snap then delta (both
+// atomic, lock-free); writers serialize on mu, publish grown copies of the
+// delta, and on overflow merge delta into a new snapshot and swap.
+type rcuShard struct {
+	snap  atomic.Pointer[snapshot]
+	delta atomic.Pointer[[]deltaRec]
+	size  atomic.Int64
+	mu    sync.Mutex
+
+	cap    int
+	build  func(recs []core.KV) (Index, error)
+	swaps  atomic.Uint64
+	parent *Sharded
+	id     int
+}
+
+// New builds a Sharded over recs (sorted ascending, distinct keys; may be
+// empty). The router splits at the record quantiles when records are
+// available, else uniformly over the key space. Shards build in parallel,
+// one goroutine per shard, and the first builder error aborts the join.
+func New(recs []core.KV, cfg Config, b Builders) (*Sharded, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.DeltaCap <= 0 {
+		cfg.DeltaCap = DefaultDeltaCap
+	}
+	switch cfg.Mode {
+	case LockRW:
+		if b.New == nil && b.Bulk == nil {
+			return nil, fmt.Errorf("shard: LockRW requires Builders.New or Builders.Bulk")
+		}
+	case LockRCU:
+		if b.Static == nil {
+			return nil, fmt.Errorf("shard: LockRCU requires Builders.Static")
+		}
+	default:
+		return nil, fmt.Errorf("shard: unknown lock mode %v", cfg.Mode)
+	}
+	router := QuantileRouter(recs, cfg.Shards)
+	if err := router.validate(); err != nil {
+		return nil, err
+	}
+	s := &Sharded{mode: cfg.Mode, router: router}
+	if cfg.MetricsPrefix != "" {
+		s.mets = make([]*obs.Metrics, cfg.Shards)
+		for i := range s.mets {
+			s.mets[i] = obs.NewMetrics(fmt.Sprintf("%s-shard%d", cfg.MetricsPrefix, i))
+		}
+	}
+	parts := router.Partition(recs)
+
+	// Parallel bulk build: one goroutine per shard, errgroup-style join.
+	built := make([]any, cfg.Shards)
+	errs := make([]error, cfg.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			part := parts[i]
+			switch cfg.Mode {
+			case LockRW:
+				var ix MutableIndex
+				var err error
+				if b.Bulk != nil {
+					ix, err = b.Bulk(part)
+				} else {
+					ix, err = b.New()
+					if err == nil {
+						for _, r := range part {
+							ix.Insert(r.Key, r.Value)
+						}
+					}
+				}
+				built[i], errs[i] = ix, err
+			case LockRCU:
+				ix, err := b.Static(part)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				sh := &rcuShard{cap: cfg.DeltaCap, build: b.Static, parent: s, id: i}
+				sh.snap.Store(&snapshot{recs: part, ix: ix})
+				empty := []deltaRec{}
+				sh.delta.Store(&empty)
+				sh.size.Store(int64(len(part)))
+				built[i] = sh
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch cfg.Mode {
+	case LockRW:
+		s.rw = make([]*rwShard, cfg.Shards)
+		for i := range s.rw {
+			s.rw[i] = &rwShard{ix: built[i].(MutableIndex)}
+		}
+	case LockRCU:
+		s.rcu = make([]*rcuShard, cfg.Shards)
+		for i := range s.rcu {
+			s.rcu[i] = built[i].(*rcuShard)
+		}
+	}
+	return s, nil
+}
+
+// SetObserver routes structural events (RCU snapshot swaps, labeled with
+// the emitting shard) into r; nil detaches.
+func (s *Sharded) SetObserver(r obs.Recorder) { s.hook.SetRecorder(r) }
+
+// ShardMetrics returns the per-shard metrics bundles, nil unless
+// Config.MetricsPrefix was set.
+func (s *Sharded) ShardMetrics() []*obs.Metrics { return s.mets }
+
+// Mode returns the configured lock mode.
+func (s *Sharded) Mode() LockMode { return s.mode }
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return s.router.Shards() }
+
+// Router returns the key→shard router.
+func (s *Sharded) Router() Router { return s.router }
+
+// ---------------------------------------------------------------------------
+// Point operations
+// ---------------------------------------------------------------------------
+
+// Get returns the value stored for k.
+func (s *Sharded) Get(k core.Key) (core.Value, bool) {
+	si := s.router.Route(k)
+	var start time.Time
+	if s.mets != nil {
+		start = time.Now()
+	}
+	var v core.Value
+	var ok bool
+	if s.mode == LockRW {
+		sh := s.rw[si]
+		sh.mu.RLock()
+		v, ok = sh.ix.Get(k)
+		sh.mu.RUnlock()
+	} else {
+		v, ok = s.rcu[si].get(k)
+	}
+	if s.mets != nil {
+		m := s.mets[si]
+		m.GetNS.Observe(uint64(time.Since(start)))
+		m.Lookups.Inc()
+		if ok {
+			m.Hits.Inc()
+		}
+	}
+	return v, ok
+}
+
+// Insert upserts (k, v).
+func (s *Sharded) Insert(k core.Key, v core.Value) {
+	si := s.router.Route(k)
+	var start time.Time
+	if s.mets != nil {
+		start = time.Now()
+	}
+	if s.mode == LockRW {
+		sh := s.rw[si]
+		sh.mu.Lock()
+		sh.ix.Insert(k, v)
+		sh.mu.Unlock()
+	} else {
+		s.rcu[si].insert(k, v)
+	}
+	if s.mets != nil {
+		m := s.mets[si]
+		m.InsertNS.Observe(uint64(time.Since(start)))
+		m.Inserts.Inc()
+	}
+}
+
+// Delete removes k, reporting whether it was present.
+func (s *Sharded) Delete(k core.Key) bool {
+	si := s.router.Route(k)
+	var start time.Time
+	if s.mets != nil {
+		start = time.Now()
+	}
+	var ok bool
+	if s.mode == LockRW {
+		sh := s.rw[si]
+		sh.mu.Lock()
+		ok = sh.ix.Delete(k)
+		sh.mu.Unlock()
+	} else {
+		ok = s.rcu[si].delete(k)
+	}
+	if s.mets != nil {
+		m := s.mets[si]
+		m.DeleteNS.Observe(uint64(time.Since(start)))
+		m.Deletes.Inc()
+	}
+	return ok
+}
+
+// Len returns the number of records across all shards.
+func (s *Sharded) Len() int {
+	total := 0
+	for i := 0; i < s.Shards(); i++ {
+		total += s.shardLen(i)
+	}
+	return total
+}
+
+// ShardLen returns the number of records in shard i.
+func (s *Sharded) ShardLen(i int) int { return s.shardLen(i) }
+
+func (s *Sharded) shardLen(i int) int {
+	if s.mode == LockRW {
+		sh := s.rw[i]
+		sh.mu.RLock()
+		n := sh.ix.Len()
+		sh.mu.RUnlock()
+		return n
+	}
+	return int(s.rcu[i].size.Load())
+}
+
+// Imbalance is the shard-imbalance gauge: the largest shard's share of the
+// records divided by the ideal equal share (1 = perfectly balanced,
+// Shards() = everything on one shard, 0 = empty index).
+func (s *Sharded) Imbalance() float64 {
+	total, max := 0, 0
+	for i := 0; i < s.Shards(); i++ {
+		n := s.shardLen(i)
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(s.Shards()) / float64(total)
+}
+
+// RCUSwaps returns the total number of snapshot swaps across shards (0 in
+// LockRW mode).
+func (s *Sharded) RCUSwaps() uint64 {
+	var n uint64
+	for _, sh := range s.rcu {
+		n += sh.swaps.Load()
+	}
+	return n
+}
+
+// Stats aggregates the per-shard structure statistics.
+func (s *Sharded) Stats() core.Stats {
+	agg := core.Stats{Name: fmt.Sprintf("sharded-%s(%d)", s.mode, s.Shards())}
+	for i := 0; i < s.Shards(); i++ {
+		var st core.Stats
+		if s.mode == LockRW {
+			sh := s.rw[i]
+			sh.mu.RLock()
+			st = sh.ix.Stats()
+			sh.mu.RUnlock()
+		} else {
+			sh := s.rcu[i]
+			snap := sh.snap.Load()
+			st = snap.ix.Stats()
+			st.Count = int(sh.size.Load())
+			st.IndexBytes += len(*sh.delta.Load()) * 24
+		}
+		agg.Count += st.Count
+		agg.IndexBytes += st.IndexBytes
+		agg.DataBytes += st.DataBytes
+		agg.Models += st.Models
+		if st.Height > agg.Height {
+			agg.Height = st.Height
+		}
+	}
+	return agg
+}
+
+// ---------------------------------------------------------------------------
+// Range operations
+// ---------------------------------------------------------------------------
+
+// Range calls fn for every record with lo <= key <= hi in ascending order,
+// visiting the covered shards in shard order (which is key order); fn
+// returning false stops the scan. It returns the number of records
+// visited.
+func (s *Sharded) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	if lo > hi {
+		return 0
+	}
+	var start time.Time
+	if s.mets != nil {
+		start = time.Now()
+	}
+	first, last := s.router.Route(lo), s.router.Route(hi)
+	count, stopped := 0, false
+	for si := first; si <= last && !stopped; si++ {
+		count += s.shardRange(si, lo, hi, func(k core.Key, v core.Value) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+	if s.mets != nil {
+		m := s.mets[first]
+		m.RangeNS.Observe(uint64(time.Since(start)))
+		m.RangeLen.Observe(uint64(count))
+		m.Ranges.Inc()
+	}
+	return count
+}
+
+func (s *Sharded) shardRange(si int, lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	if s.mode == LockRW {
+		sh := s.rw[si]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.ix.Range(lo, hi, fn)
+	}
+	return s.rcu[si].rangeScan(lo, hi, fn)
+}
+
+// SearchRange collects every record with lo <= key <= hi, fanning the scan
+// out across the covered shards in parallel and concatenating the
+// per-shard results in shard order (range partitioning makes concatenation
+// the ordered merge). The result is always non-nil: an empty index, an
+// empty shard or an empty interval all yield an empty slice, pinning the
+// façade-wide empty-slice normalization.
+func (s *Sharded) SearchRange(lo, hi core.Key) []core.KV {
+	out := []core.KV{}
+	if lo > hi {
+		return out
+	}
+	first, last := s.router.Route(lo), s.router.Route(hi)
+	if first == last {
+		s.shardRange(first, lo, hi, func(k core.Key, v core.Value) bool {
+			out = append(out, core.KV{Key: k, Value: v})
+			return true
+		})
+		return out
+	}
+	parts := make([][]core.KV, last-first+1)
+	var wg sync.WaitGroup
+	for si := first; si <= last; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			var part []core.KV
+			s.shardRange(si, lo, hi, func(k core.Key, v core.Value) bool {
+				part = append(part, core.KV{Key: k, Value: v})
+				return true
+			})
+			parts[si-first] = part
+		}(si)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Batched operations
+// ---------------------------------------------------------------------------
+
+// shardGroups partitions the positions 0..n-1 of keys by owning shard.
+func (s *Sharded) shardGroups(keys []core.Key) map[int][]int {
+	groups := make(map[int][]int)
+	for i, k := range keys {
+		si := s.router.Route(k)
+		groups[si] = append(groups[si], i)
+	}
+	return groups
+}
+
+// LookupBatch resolves keys in one pass, grouping them by shard so each
+// shard's lock is acquired once per batch and shards proceed in parallel.
+// vals[i], oks[i] answer keys[i].
+func (s *Sharded) LookupBatch(keys []core.Key) (vals []core.Value, oks []bool) {
+	vals = make([]core.Value, len(keys))
+	oks = make([]bool, len(keys))
+	groups := s.shardGroups(keys)
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		wg.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			if s.mode == LockRW {
+				sh := s.rw[si]
+				sh.mu.RLock()
+				for _, i := range idxs {
+					vals[i], oks[i] = sh.ix.Get(keys[i])
+				}
+				sh.mu.RUnlock()
+			} else {
+				sh := s.rcu[si]
+				for _, i := range idxs {
+					vals[i], oks[i] = sh.get(keys[i])
+				}
+			}
+			if s.mets != nil {
+				m := s.mets[si]
+				m.Lookups.Add(uint64(len(idxs)))
+				for _, i := range idxs {
+					if oks[i] {
+						m.Hits.Inc()
+					}
+				}
+			}
+		}(si, idxs)
+	}
+	wg.Wait()
+	return vals, oks
+}
+
+// InsertBatch upserts recs, grouping them by shard so each shard's write
+// lock is acquired once per batch (and, in RCU mode, the whole per-shard
+// group lands in one copy-on-write delta publication).
+func (s *Sharded) InsertBatch(recs []core.KV) {
+	keys := make([]core.Key, len(recs))
+	for i := range recs {
+		keys[i] = recs[i].Key
+	}
+	groups := s.shardGroups(keys)
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		wg.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			if s.mode == LockRW {
+				sh := s.rw[si]
+				sh.mu.Lock()
+				for _, i := range idxs {
+					sh.ix.Insert(recs[i].Key, recs[i].Value)
+				}
+				sh.mu.Unlock()
+			} else {
+				group := make([]core.KV, len(idxs))
+				for j, i := range idxs {
+					group[j] = recs[i]
+				}
+				s.rcu[si].insertBatch(group)
+			}
+			if s.mets != nil {
+				s.mets[si].Inserts.Add(uint64(len(idxs)))
+			}
+		}(si, idxs)
+	}
+	wg.Wait()
+}

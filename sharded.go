@@ -1,0 +1,115 @@
+package lix
+
+import (
+	"fmt"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/shard"
+)
+
+// Sharded is the range-partitioned concurrent serving layer: it wraps any
+// registered index kind into an N-shard structure with per-shard RWMutex
+// or RCU snapshot-swap concurrency, parallel bulk build, batched
+// LookupBatch/InsertBatch, and cross-shard SearchRange fan-out. All
+// methods are safe for concurrent use. See DESIGN.md §"Sharded serving
+// layer".
+type Sharded = shard.Sharded
+
+// ShardMode selects the per-shard concurrency scheme of a Sharded index.
+type ShardMode = shard.LockMode
+
+// The shard lock modes.
+const (
+	// ShardRW guards each shard's mutable index with one RWMutex.
+	ShardRW = shard.LockRW
+	// ShardRCU serves lock-free reads from an immutable snapshot + delta
+	// pair and swaps in merged snapshots RCU-style.
+	ShardRCU = shard.LockRCU
+)
+
+// ShardedConfig configures NewSharded.
+type ShardedConfig struct {
+	// Shards is the shard count (0 selects 8).
+	Shards int
+	// Mode selects the concurrency scheme (default ShardRW).
+	Mode ShardMode
+	// Backend is the per-shard mutable index kind for ShardRW mode, one of
+	// Mutable1DKinds ("" selects "btree").
+	Backend string
+	// Snapshot is the per-shard read-optimized index kind for ShardRCU
+	// mode, one of Static1DKinds ("" selects "pgm").
+	Snapshot string
+	// DeltaCap is the per-shard delta size that triggers an RCU snapshot
+	// merge (0 selects the shard package default).
+	DeltaCap int
+	// MetricsPrefix, when non-empty, creates one Metrics bundle per shard
+	// named "<prefix>-shard<i>" (retrieve them with ShardMetrics).
+	MetricsPrefix string
+}
+
+// NewSharded builds the sharded serving layer over recs (sorted ascending,
+// distinct keys; may be nil to start empty). Shard boundaries are the
+// record quantiles when records are given, else uniform over the key
+// space; the per-shard sub-indexes build in parallel, one goroutine per
+// shard.
+func NewSharded(recs []KV, cfg ShardedConfig) (*Sharded, error) {
+	if cfg.Backend == "" {
+		cfg.Backend = "btree"
+	}
+	if cfg.Snapshot == "" {
+		cfg.Snapshot = "pgm"
+	}
+	b := shard.Builders{}
+	switch cfg.Mode {
+	case ShardRW:
+		kind := cfg.Backend
+		if _, err := BuildMutable1D(kind); err != nil {
+			return nil, err
+		}
+		b.New = func() (shard.MutableIndex, error) { return BuildMutable1D(kind) }
+		switch kind {
+		// Kinds with a faster bulk path than an insert loop.
+		case "btree":
+			b.Bulk = func(recs []core.KV) (shard.MutableIndex, error) { return BulkBTree(0, recs) }
+		case "alex":
+			b.Bulk = func(recs []core.KV) (shard.MutableIndex, error) { return BulkALEX(recs) }
+		case "lipp":
+			b.Bulk = func(recs []core.KV) (shard.MutableIndex, error) { return BulkLIPP(recs) }
+		}
+	case ShardRCU:
+		kind := cfg.Snapshot
+		if _, err := Build1D(kind, nil); err != nil {
+			return nil, fmt.Errorf("lix: sharded snapshot kind %q must build empty: %w", kind, err)
+		}
+		b.Static = func(recs []core.KV) (shard.Index, error) { return Build1D(kind, recs) }
+	default:
+		return nil, fmt.Errorf("lix: unknown shard mode %v", cfg.Mode)
+	}
+	return shard.New(recs, shard.Config{
+		Shards:        cfg.Shards,
+		Mode:          cfg.Mode,
+		DeltaCap:      cfg.DeltaCap,
+		MetricsPrefix: cfg.MetricsPrefix,
+	}, b)
+}
+
+// SearchRange collects every record of ix with lo <= key <= hi into a
+// slice, in ascending key order. The result is always non-nil: before this
+// helper, collecting a range out of an empty index returned nil from some
+// implementations and an empty slice from others, and callers comparing
+// against empty slices diverged. A *Sharded index answers through its
+// parallel cross-shard fan-out; everything else scans through Range.
+func SearchRange(ix Index, lo, hi Key) []KV {
+	if s, ok := ix.(*Sharded); ok {
+		return s.SearchRange(lo, hi)
+	}
+	out := []KV{}
+	if lo > hi {
+		return out
+	}
+	ix.Range(lo, hi, func(k Key, v Value) bool {
+		out = append(out, KV{Key: k, Value: v})
+		return true
+	})
+	return out
+}
