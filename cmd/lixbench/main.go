@@ -75,6 +75,9 @@ func main() {
 		rev         = flag.String("rev", "dev", "revision label for -bench-out")
 		benchOut    = flag.String("bench-out", "", "serving mode: write BENCH_<rev>.json into this directory")
 		compare     = flag.String("compare", "", "compare two bench files, 'old.json,new.json'; exit 1 on >15% regression")
+
+		durable = flag.Bool("durable", false, "durability mode: measure WAL insert throughput and cold-start recovery")
+		fsync   = flag.String("fsync", "all", "durability mode: fsync policy to measure (always|interval|never|all)")
 	)
 	flag.Parse()
 	if *list {
@@ -83,6 +86,10 @@ func main() {
 	}
 	if *compare != "" {
 		compareBenchFiles(*compare)
+		return
+	}
+	if *durable {
+		runDurable(*fsync, *shards, *concurrency, *n, *q, *seed, *quick, *rev, *benchOut)
 		return
 	}
 	if *shards > 0 || *concurrency > 0 {
@@ -196,6 +203,56 @@ func runServing(shards, workers, n, q int, seed int64, quick bool, rev, outDir s
 	}
 	if outDir != "" {
 		f := bench.ServingBenchFile(rev, cfg, rows)
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(outDir, "BENCH_"+rev+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// runDurable executes the durability benchmark (lixbench -durable
+// -fsync=<policy>): per-policy WAL insert throughput and cold-start
+// recovery time, optionally written as a BENCH_<rev>.json for -compare.
+func runDurable(fsync string, shards, workers, n, q int, seed int64, quick bool, rev, outDir string) {
+	cfg := bench.DefaultDurableBenchConfig()
+	if quick {
+		cfg.N, cfg.Ops = 50_000, 10_000
+	}
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	if n > 0 {
+		cfg.N = n
+	}
+	if q > 0 {
+		cfg.Ops = q
+	}
+	cfg.Seed = seed
+	if fsync != "" && fsync != "all" {
+		p, err := lix.ParseSyncPolicy(fsync)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Policies = []lix.SyncPolicy{p}
+	}
+
+	tables, results, err := bench.RunDurable(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	if outDir != "" {
+		f := bench.BenchFile{Rev: rev, Results: results}
 		data, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestPersistenceExample runs the write → crash → reopen → verify cycle
+// end to end, so the example doubles as a regression test (and is what
+// the CI persistence job executes under -race).
+func TestPersistenceExample(t *testing.T) {
+	if err := run(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	lix "github.com/lix-go/lix"
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+)
+
+// DurableBenchConfig sizes the durability benchmark (lixbench -durable).
+type DurableBenchConfig struct {
+	// N is the preloaded dataset size (checkpointed before measuring).
+	N int `json:"n"`
+	// Ops is the measured insert count under FsyncNever/FsyncInterval;
+	// FsyncAlways runs Ops/50 (min 200) since each op pays a real fsync.
+	Ops int `json:"ops"`
+	// Workers is the concurrent writer count (group commit batches their
+	// fsyncs).
+	Workers int `json:"workers"`
+	// Shards is the shard count of the durable index (0 = unsharded).
+	Shards int `json:"shards"`
+	// Policies lists the fsync policies to measure (empty = all three).
+	Policies []lix.SyncPolicy `json:"-"`
+	// Seed drives key generation.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultDurableBenchConfig is the scale used for the DESIGN.md table.
+func DefaultDurableBenchConfig() DurableBenchConfig {
+	return DurableBenchConfig{N: 500_000, Ops: 100_000, Workers: 8, Shards: 8, Seed: 7}
+}
+
+// DurableRow is one measured fsync-policy cell.
+type DurableRow struct {
+	Policy       string  `json:"policy"`
+	InsertOpsSec float64 `json:"insert_ops_per_sec"`
+	Fsyncs       uint64  `json:"fsyncs"`
+	RecoverMs    float64 `json:"recover_ms"`
+	RecoverRec   int     `json:"recover_records"`
+	RecRecSec    float64 `json:"recover_records_per_sec"`
+}
+
+// RunDurable measures, for each fsync policy: durable insert throughput
+// under Workers concurrent writers (every insert traverses the WAL; under
+// FsyncAlways each also waits for a group-committed fsync), then kills
+// the store without a checkpoint and measures cold-start recovery —
+// snapshot load plus WAL replay plus index rebuild. It returns the
+// rendered table and regression-harness results named
+// durable/insert/<policy> and durable/recover/<policy>.
+func RunDurable(cfg DurableBenchConfig) ([]*Table, []BenchResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = []lix.SyncPolicy{lix.FsyncNever, lix.FsyncInterval, lix.FsyncAlways}
+	}
+	keys := mustKeys(dataset.Uniform, cfg.N, cfg.Seed)
+	recs := dataset.KV(keys)
+
+	t := &Table{
+		ID: "DUR",
+		Title: fmt.Sprintf("Durable insert throughput and cold-start recovery, %d workers, %d shards, n=%d",
+			cfg.Workers, cfg.Shards, cfg.N),
+		Columns: []string{"fsync", "insert Kops/s", "fsyncs", "recover ms", "recover Mrec/s"},
+	}
+	var results []BenchResult
+	for _, policy := range policies {
+		row, err := runDurablePolicy(cfg, policy, recs)
+		if err != nil {
+			return nil, nil, err
+		}
+		t.AddRow(row.Policy, row.InsertOpsSec/1e3, row.Fsyncs, row.RecoverMs, row.RecRecSec/1e6)
+		results = append(results,
+			BenchResult{Name: "durable/insert/" + row.Policy, OpsPerSec: row.InsertOpsSec},
+			BenchResult{Name: "durable/recover/" + row.Policy, OpsPerSec: row.RecRecSec},
+		)
+	}
+	return []*Table{t}, results, nil
+}
+
+func runDurablePolicy(cfg DurableBenchConfig, policy lix.SyncPolicy, recs []core.KV) (DurableRow, error) {
+	dir, err := os.MkdirTemp("", "lixbench-durable-*")
+	if err != nil {
+		return DurableRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	ops := cfg.Ops
+	if policy == lix.FsyncAlways {
+		// Every op waits on an fsync (amortized by group commit); run
+		// fewer so the benchmark stays bounded on slow disks.
+		if ops = ops / 50; ops < 200 {
+			ops = 200
+		}
+	}
+	opts := lix.DurableOptions{
+		Shards:          cfg.Shards,
+		Fsync:           policy,
+		CheckpointEvery: -1, // measure the WAL path, not checkpoint scheduling
+	}
+	d, err := lix.NewDurable(dir, recs, opts)
+	if err != nil {
+		return DurableRow{}, err
+	}
+
+	// Concurrent durable inserts of fresh keys (above the preload range).
+	var wg sync.WaitGroup
+	perWorker := ops / cfg.Workers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	base := ^core.Key(0) / 2
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := newRand(cfg.Seed + 17*int64(w))
+			for o := 0; o < perWorker; o++ {
+				k := base + core.Key(r.Int63())
+				if err := d.Put(k, core.Value(o)); err != nil {
+					return // sticky error surfaces via d.Err below
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := d.Err(); err != nil {
+		d.Close()
+		return DurableRow{}, err
+	}
+	row := DurableRow{
+		Policy:       policy.String(),
+		InsertOpsSec: float64(perWorker*cfg.Workers) / elapsed.Seconds(),
+		Fsyncs:       d.Fsyncs(),
+	}
+
+	// Kill without a checkpoint, then measure cold-start recovery: the
+	// WAL suffix replays over the seed snapshot and the index rebuilds.
+	if err := d.Crash(); err != nil {
+		return DurableRow{}, err
+	}
+	r, err := lix.Open(dir, lix.DurableOptions{Fsync: policy, CheckpointEvery: -1})
+	if err != nil {
+		return DurableRow{}, err
+	}
+	defer r.Close()
+	info := r.RecoveryInfo()
+	row.RecoverMs = float64(info.Elapsed.Microseconds()) / 1e3
+	row.RecoverRec = info.SnapshotRecs + info.WALRecs
+	if s := info.Elapsed.Seconds(); s > 0 {
+		row.RecRecSec = float64(row.RecoverRec) / s
+	}
+	return row, nil
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	lix "github.com/lix-go/lix"
+)
+
+// TestRunDurableSmoke runs the durability benchmark at a tiny scale and
+// checks the shape of the emitted table and regression results.
+func TestRunDurableSmoke(t *testing.T) {
+	cfg := DurableBenchConfig{
+		N: 2000, Ops: 1000, Workers: 2, Shards: 2, Seed: 3,
+		// Skip FsyncAlways in unit tests: per-op fsync latency is disk
+		// dependent and slow on CI filesystems.
+		Policies: []lix.SyncPolicy{lix.FsyncNever, lix.FsyncInterval},
+	}
+	tables, results, err := RunDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "DUR" {
+		t.Fatalf("tables %v", tables)
+	}
+	if len(results) != 2*len(cfg.Policies) {
+		t.Fatalf("results %d, want %d", len(results), 2*len(cfg.Policies))
+	}
+	for _, r := range results {
+		if !strings.HasPrefix(r.Name, "durable/insert/") && !strings.HasPrefix(r.Name, "durable/recover/") {
+			t.Fatalf("unexpected result name %q", r.Name)
+		}
+		if r.OpsPerSec <= 0 {
+			t.Fatalf("%s measured %g ops/s", r.Name, r.OpsPerSec)
+		}
+	}
+	// Results feed the same BENCH_<rev>.json comparison harness.
+	old := BenchFile{Rev: "a", Results: results}
+	regs, _ := CompareBenchFiles(old, BenchFile{Rev: "b", Results: results}, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("identical files flagged regressions: %v", regs)
+	}
+}

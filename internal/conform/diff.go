@@ -2,11 +2,23 @@ package conform
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
 	"github.com/lix-go/lix/internal/core"
 )
+
+// closeIndex releases resources held by indexes that own files or
+// goroutines (the durable factories); purely in-memory indexes do not
+// implement io.Closer and are untouched. Replays build hundreds of
+// instances while shrinking, so leaking file handles here would exhaust
+// the process fd limit.
+func closeIndex(ix any) {
+	if c, ok := ix.(io.Closer); ok {
+		c.Close()
+	}
+}
 
 // DefaultCheckEvery is how many operations the engine replays between
 // invariant-hook calls.
@@ -94,6 +106,7 @@ func replay1D(f Factory, init []core.KV, ops []Op, checkEvery int) (int, string)
 	if err != nil {
 		return replayBuild, fmt.Sprintf("build failed: %v", err)
 	}
+	defer closeIndex(ix)
 	o := newOracle1D(init)
 	var mix MutableIndex
 	if f.Caps.Mutable {
@@ -269,6 +282,7 @@ func replaySpatial(f Factory, init []core.PV, ops []SpatialOp, checkEvery int) (
 	if err != nil {
 		return replayBuild, fmt.Sprintf("build failed: %v", err)
 	}
+	defer closeIndex(ix)
 	o := newSpatialOracle(init)
 	var mix MutableSpatialIndex
 	if f.Caps.Mutable {

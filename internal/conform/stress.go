@@ -136,6 +136,7 @@ func runStress(build func(init []core.KV) (MutableIndex, error), h stressHistory
 	if err != nil {
 		return fmt.Errorf("conform: stress build failed: %v", err)
 	}
+	defer closeIndex(ix)
 	batch, _ := ix.(BatchIndex)
 	if !cfg.Batch {
 		batch = nil

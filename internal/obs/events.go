@@ -23,6 +23,9 @@ const (
 	EvCompaction
 	EvRCUSwap
 	EvDriftTrip
+	EvCheckpoint
+	EvWALFlush
+	EvRecovery
 	numEventTypes
 )
 
@@ -44,6 +47,12 @@ func (t EventType) String() string {
 		return "rcu_swap"
 	case EvDriftTrip:
 		return "drift_trip"
+	case EvCheckpoint:
+		return "checkpoint"
+	case EvWALFlush:
+		return "wal_flush"
+	case EvRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("event_%d", uint8(t))
 	}

@@ -40,6 +40,10 @@ type Metrics struct {
 	Probes Histogram
 	Window Histogram
 
+	// FsyncNS is the WAL fsync-latency histogram in nanoseconds, fed by
+	// the durable storage layer's group commits.
+	FsyncNS Histogram
+
 	// Events is the structural event stream.
 	Events EventLog
 
@@ -182,7 +186,7 @@ var counterNames = []string{"lookups", "hits", "inserts", "deletes", "ranges"}
 // histNames fixes the rendering order of the histogram set.
 var histNames = []string{
 	"get_ns", "insert_ns", "delete_ns", "range_ns",
-	"range_len", "search_probes", "search_window",
+	"range_len", "search_probes", "search_window", "fsync_ns",
 }
 
 func (m *Metrics) counter(name string) *Counter {
@@ -217,6 +221,8 @@ func (m *Metrics) histogram(name string) *Histogram {
 		return &m.Probes
 	case "search_window":
 		return &m.Window
+	case "fsync_ns":
+		return &m.FsyncNS
 	}
 	return nil
 }

@@ -280,6 +280,7 @@ lix_get_ns_count{index="t"} 2
 		emptyHist("lix_range_len") +
 		emptyHist("lix_search_probes") +
 		emptyHist("lix_search_window") +
+		emptyHist("lix_fsync_ns") +
 		`# TYPE lix_events_total counter
 lix_events_total{index="t",type="retrain"} 1
 lix_events_total{index="t",type="node_split"} 0
@@ -288,6 +289,9 @@ lix_events_total{index="t",type="buffer_merge"} 0
 lix_events_total{index="t",type="compaction"} 0
 lix_events_total{index="t",type="rcu_swap"} 0
 lix_events_total{index="t",type="drift_trip"} 0
+lix_events_total{index="t",type="checkpoint"} 0
+lix_events_total{index="t",type="wal_flush"} 0
+lix_events_total{index="t",type="recovery"} 0
 `
 	if got := b.String(); got != golden {
 		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
@@ -312,7 +316,7 @@ func TestWritePrometheusAll(t *testing.T) {
 
 func TestEventTypeStrings(t *testing.T) {
 	want := []string{"retrain", "node_split", "buffer_flush", "buffer_merge",
-		"compaction", "rcu_swap", "drift_trip"}
+		"compaction", "rcu_swap", "drift_trip", "checkpoint", "wal_flush", "recovery"}
 	types := EventTypes()
 	if len(types) != len(want) {
 		t.Fatalf("EventTypes() has %d entries, want %d", len(types), len(want))

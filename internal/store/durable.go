@@ -1,0 +1,861 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
+)
+
+// DefaultCheckpointEvery is the WAL record count between automatic
+// background checkpoints when Config.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 1 << 16
+
+// DefaultSyncInterval is the background flush cadence for SyncInterval
+// when Config.SyncInterval is zero.
+const DefaultSyncInterval = 50 * time.Millisecond
+
+// Config tunes a Durable store.
+type Config struct {
+	// Fsync selects WAL durability (default SyncAlways).
+	Fsync SyncPolicy
+	// SyncInterval is the background flush cadence under SyncInterval
+	// (0 selects DefaultSyncInterval).
+	SyncInterval time.Duration
+	// CheckpointEvery triggers a background checkpoint after this many WAL
+	// records since the last one (0 selects DefaultCheckpointEvery,
+	// negative disables automatic checkpoints).
+	CheckpointEvery int
+	// Meta is the rebuild-parameter map persisted in snapshots of a fresh
+	// store; on reopen the on-disk meta wins and is passed to the builder.
+	Meta map[string]string
+	// Metrics, when set, receives checkpoint/flush/recovery events and the
+	// fsync-latency histogram.
+	Metrics *obs.Metrics
+}
+
+// RecoveryInfo describes what Open reconstructed.
+type RecoveryInfo struct {
+	// SnapshotGen is the generation of the snapshot loaded (0 = none).
+	SnapshotGen uint64
+	// SnapshotRecs is the record count loaded from the snapshot.
+	SnapshotRecs int
+	// WALRecs is the number of committed WAL records replayed.
+	WALRecs int
+	// TruncatedBytes counts torn or corrupt tail bytes discarded across
+	// segments.
+	TruncatedBytes int64
+	// CorruptSnapshots counts snapshot generations that failed validation
+	// and were skipped.
+	CorruptSnapshots int
+	// Elapsed is the wall time recovery took.
+	Elapsed time.Duration
+}
+
+// Durable wraps a mutable in-memory index with write-ahead logging and
+// snapshot checkpoints. Every mutation is framed into a WAL segment
+// before it is applied in memory; Checkpoint rotates to a fresh
+// generation by atomically writing a full snapshot and retiring the old
+// log. All methods are safe for concurrent use (writes to indexes that
+// are not themselves concurrency-safe are serialized internally).
+type Durable struct {
+	dir string
+	cfg Config
+
+	ix       MutableIndex
+	batch    BatchIndex // nil when the index has no batched surface
+	route    Router
+	segments int
+	// concReads: the wrapped index tolerates reads concurrent with writes,
+	// so readers skip the per-segment lock.
+	concReads bool
+	meta      map[string]string
+
+	// stateMu: writers and checkpoints. Writers hold RLock for the whole
+	// log+apply step, so Checkpoint's Lock is a consistent cut.
+	stateMu sync.RWMutex
+	// segMu[i]: orders log and apply within segment i, which preserves
+	// per-key operation order (a key routes to exactly one segment).
+	// Non-concurrent backends have a single segment, so this lock also
+	// serializes their writes; readers of such backends take RLock.
+	segMu []sync.RWMutex
+
+	gen  uint64
+	wals []*WAL
+
+	seq       atomic.Uint64 // last assigned commit sequence number
+	sinceCkpt atomic.Int64  // records logged since the last checkpoint
+
+	ckptMu   sync.Mutex // serializes checkpoints
+	ckptCh   chan struct{}
+	stop     chan struct{}
+	bg       sync.WaitGroup
+	closed   atomic.Bool
+	firstErr atomic.Pointer[error]
+
+	hook     obs.Hook
+	recovery RecoveryInfo
+}
+
+// ---------------------------------------------------------------------------
+// File layout
+// ---------------------------------------------------------------------------
+
+func snapPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.lix", gen))
+}
+
+func walPath(dir string, gen uint64, seg int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x-%03d.lix", gen, seg))
+}
+
+// dirState is the generation inventory of a store directory.
+type dirState struct {
+	snaps map[uint64]string
+	wals  map[uint64]map[int]string
+}
+
+func scanDir(dir string) (dirState, error) {
+	st := dirState{snaps: map[uint64]string{}, wals: map[uint64]map[int]string{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return st, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		var gen uint64
+		var seg int
+		switch {
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".lix"):
+			if _, err := fmt.Sscanf(name, "snap-%016x.lix", &gen); err == nil {
+				st.snaps[gen] = filepath.Join(dir, name)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".lix"):
+			if _, err := fmt.Sscanf(name, "wal-%016x-%03d.lix", &gen, &seg); err == nil {
+				if st.wals[gen] == nil {
+					st.wals[gen] = map[int]string{}
+				}
+				st.wals[gen][seg] = filepath.Join(dir, name)
+			}
+		}
+	}
+	return st, nil
+}
+
+func (st dirState) empty() bool { return len(st.snaps) == 0 && len(st.wals) == 0 }
+
+// ---------------------------------------------------------------------------
+// Open / Create
+// ---------------------------------------------------------------------------
+
+// Create initializes a fresh durable store at dir seeded with recs
+// (sorted ascending, distinct keys; may be empty) and makes the seed
+// durable with an initial checkpoint. It fails if dir already holds
+// store files.
+func Create(dir string, cfg Config, build BuildFunc, recs []core.KV) (*Durable, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !st.empty() {
+		return nil, fmt.Errorf("store: %s already holds a durable store (use Open)", dir)
+	}
+	res, err := build(nil, recs)
+	if err != nil {
+		return nil, err
+	}
+	d, err := assemble(dir, cfg, res, cfg.Meta, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteSnapshot(snapPath(dir, 1), &SnapshotData{Meta: d.meta, Recs: recs, LastSeq: 0}); err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.start()
+	return d, nil
+}
+
+// Open opens the durable store at dir, creating it empty if the
+// directory holds no store files. Recovery loads the newest valid
+// snapshot, then replays every WAL generation at or after it: segments
+// are decoded and CRC-validated in parallel, torn or corrupt tails are
+// truncated, and the committed records are merged by global sequence
+// number before the index is rebuilt.
+func Open(dir string, cfg Config, build BuildFunc) (*Durable, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Newest valid snapshot wins; corrupt ones are skipped, not fatal.
+	var info RecoveryInfo
+	var snap *SnapshotData
+	for _, gen := range gensDesc(st.snaps) {
+		s, err := ReadSnapshot(st.snaps[gen])
+		if err != nil {
+			info.CorruptSnapshots++
+			continue
+		}
+		snap, info.SnapshotGen = s, gen
+		break
+	}
+	base, meta := []core.KV(nil), map[string]string(nil)
+	if snap != nil {
+		base, meta = snap.Recs, snap.Meta
+		info.SnapshotRecs = len(snap.Recs)
+	}
+
+	// Decode every WAL segment of every generation >= the snapshot's, in
+	// parallel (one goroutine per segment file).
+	type segJob struct {
+		gen  uint64
+		seg  int
+		path string
+	}
+	var jobs []segJob
+	currentGen := info.SnapshotGen
+	for gen, segs := range st.wals {
+		if gen < info.SnapshotGen {
+			continue // absorbed by the snapshot, left for GC
+		}
+		if gen > currentGen {
+			currentGen = gen
+		}
+		for seg, path := range segs {
+			jobs = append(jobs, segJob{gen, seg, path})
+		}
+	}
+	if currentGen == 0 {
+		currentGen = 1
+	}
+	segRecs := make([][]Record, len(jobs))
+	segTrunc := make([]int64, len(jobs))
+	segErr := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j segJob) {
+			defer wg.Done()
+			segRecs[i], segTrunc[i], segErr[i] = readSegment(j.path)
+		}(i, j)
+	}
+	wg.Wait()
+	var ops []Record
+	for i := range jobs {
+		if segErr[i] != nil {
+			return nil, segErr[i]
+		}
+		ops = append(ops, segRecs[i]...)
+		info.TruncatedBytes += segTrunc[i]
+	}
+	// Global commit order across segments and generations.
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Seq < ops[j].Seq })
+	info.WALRecs = len(ops)
+
+	recs := replayOver(base, ops)
+	res, err := build(meta, recs)
+	if err != nil {
+		return nil, err
+	}
+	if meta == nil {
+		meta = cfg.Meta
+	}
+	d, err := assemble(dir, cfg, res, meta, currentGen)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resume the sequence counter past everything recovered.
+	last := uint64(0)
+	if snap != nil {
+		last = snap.LastSeq
+	}
+	for _, op := range ops {
+		if op.Seq > last {
+			last = op.Seq
+		}
+	}
+	d.seq.Store(last)
+	info.Elapsed = time.Since(start)
+	d.recovery = info
+	d.emit(obs.EvRecovery, info.WALRecs, fmt.Sprintf("gen=%d truncated=%dB", currentGen, info.TruncatedBytes))
+	d.start()
+	return d, nil
+}
+
+// assemble builds the Durable shell and opens (or creates) the current
+// generation's WAL segments, truncating torn tails.
+func assemble(dir string, cfg Config, res BuildResult, meta map[string]string, gen uint64) (*Durable, error) {
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = DefaultSyncInterval
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = DefaultCheckpointEvery
+	}
+	segments := res.Segments
+	if segments <= 0 {
+		segments = 1
+	}
+	if !res.ConcurrentReads && segments != 1 {
+		return nil, fmt.Errorf("store: non-concurrent index needs exactly 1 segment, got %d", segments)
+	}
+	if meta == nil {
+		meta = map[string]string{}
+	}
+	d := &Durable{
+		dir: dir, cfg: cfg,
+		ix: res.Index, route: res.Route, segments: segments,
+		concReads: res.ConcurrentReads, meta: meta,
+		gen:    gen,
+		segMu:  make([]sync.RWMutex, segments),
+		ckptCh: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	d.batch, _ = res.Index.(BatchIndex)
+	if cfg.Metrics != nil {
+		d.hook.SetRecorder(cfg.Metrics)
+	}
+	wals, err := d.openGeneration(gen)
+	if err != nil {
+		return nil, err
+	}
+	d.wals = wals
+	return d, nil
+}
+
+// openGeneration opens or creates the append handles for generation gen.
+// Recovery already consumed their committed records via readSegment;
+// OpenWAL re-validates and truncates any torn tail so appends land after
+// the last committed frame.
+func (d *Durable) openGeneration(gen uint64) ([]*WAL, error) {
+	wals := make([]*WAL, d.segments)
+	var fsyncNS *obs.Histogram
+	if d.cfg.Metrics != nil {
+		fsyncNS = &d.cfg.Metrics.FsyncNS
+	}
+	for seg := range wals {
+		w, _, _, err := OpenWAL(walPath(d.dir, gen, seg), gen, seg, &d.hook, fsyncNS)
+		if err != nil {
+			for _, open := range wals[:seg] {
+				open.Close()
+			}
+			return nil, err
+		}
+		wals[seg] = w
+	}
+	return wals, nil
+}
+
+// replayOver applies ops (sorted by Seq) over the sorted base record set
+// and returns the resulting sorted record set.
+func replayOver(base []core.KV, ops []Record) []core.KV {
+	if len(ops) == 0 {
+		return base
+	}
+	type state struct {
+		val core.Value
+		del bool
+	}
+	overlay := make(map[core.Key]state, len(ops))
+	for _, op := range ops {
+		overlay[op.Key] = state{val: op.Val, del: op.Op == OpDelete}
+	}
+	keys := make([]core.Key, 0, len(overlay))
+	for k := range overlay {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	out := make([]core.KV, 0, len(base)+len(keys))
+	bi := 0
+	for _, k := range keys {
+		for bi < len(base) && base[bi].Key < k {
+			out = append(out, base[bi])
+			bi++
+		}
+		if bi < len(base) && base[bi].Key == k {
+			bi++ // superseded by the overlay
+		}
+		if s := overlay[k]; !s.del {
+			out = append(out, core.KV{Key: k, Value: s.val})
+		}
+	}
+	return append(out, base[bi:]...)
+}
+
+func gensDesc(m map[uint64]string) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for g := range m {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// start launches the background flusher and checkpointer.
+func (d *Durable) start() {
+	if d.cfg.Fsync == SyncInterval {
+		d.bg.Add(1)
+		go func() {
+			defer d.bg.Done()
+			t := time.NewTicker(d.cfg.SyncInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-d.stop:
+					return
+				case <-t.C:
+					d.Sync()
+				}
+			}
+		}()
+	}
+	if d.cfg.CheckpointEvery > 0 {
+		d.bg.Add(1)
+		go func() {
+			defer d.bg.Done()
+			for {
+				select {
+				case <-d.stop:
+					return
+				case <-d.ckptCh:
+					if err := d.Checkpoint(); err != nil {
+						d.fail(err)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+// ---------------------------------------------------------------------------
+
+// Dir returns the store directory.
+func (d *Durable) Dir() string { return d.dir }
+
+// Gen returns the current file generation.
+func (d *Durable) Gen() uint64 {
+	d.stateMu.RLock()
+	defer d.stateMu.RUnlock()
+	return d.gen
+}
+
+// Segments returns the WAL segment count.
+func (d *Durable) Segments() int { return d.segments }
+
+// Meta returns the persisted rebuild-parameter map.
+func (d *Durable) Meta() map[string]string {
+	out := make(map[string]string, len(d.meta))
+	for k, v := range d.meta {
+		out[k] = v
+	}
+	return out
+}
+
+// RecoveryInfo reports what Open reconstructed (zero value after Create).
+func (d *Durable) RecoveryInfo() RecoveryInfo { return d.recovery }
+
+// Fsyncs returns the total fsync count across the current generation's
+// segments.
+func (d *Durable) Fsyncs() uint64 {
+	d.stateMu.RLock()
+	defer d.stateMu.RUnlock()
+	var n uint64
+	for _, w := range d.wals {
+		n += w.Fsyncs()
+	}
+	return n
+}
+
+// Err returns the first unrecoverable I/O error, if any. After an error
+// the store stops accepting mutations (reads still serve from memory).
+func (d *Durable) Err() error {
+	if p := d.firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetObserver routes structural events (checkpoints, WAL flushes,
+// recovery) into r; nil detaches.
+func (d *Durable) SetObserver(r obs.Recorder) { d.hook.SetRecorder(r) }
+
+func (d *Durable) fail(err error) {
+	if err == nil {
+		return
+	}
+	d.firstErr.CompareAndSwap(nil, &err)
+}
+
+func (d *Durable) emit(t obs.EventType, n int, detail string) {
+	d.hook.Emit(t, n, detail)
+}
+
+func (d *Durable) seg(k core.Key) int {
+	if d.route == nil {
+		return 0
+	}
+	if s := d.route(k); s >= 0 && s < d.segments {
+		return s
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+// Get returns the value stored for k.
+func (d *Durable) Get(k core.Key) (core.Value, bool) {
+	if d.concReads {
+		return d.ix.Get(k)
+	}
+	d.segMu[0].RLock()
+	defer d.segMu[0].RUnlock()
+	return d.ix.Get(k)
+}
+
+// Range calls fn for every record with lo <= key <= hi in ascending
+// order; fn returning false stops the scan.
+func (d *Durable) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	if d.concReads {
+		return d.ix.Range(lo, hi, fn)
+	}
+	d.segMu[0].RLock()
+	defer d.segMu[0].RUnlock()
+	return d.ix.Range(lo, hi, fn)
+}
+
+// Len returns the number of records.
+func (d *Durable) Len() int {
+	if d.concReads {
+		return d.ix.Len()
+	}
+	d.segMu[0].RLock()
+	defer d.segMu[0].RUnlock()
+	return d.ix.Len()
+}
+
+// Stats reports the wrapped index's structure statistics with the WAL
+// footprint added.
+func (d *Durable) Stats() core.Stats {
+	var st core.Stats
+	if d.concReads {
+		st = d.ix.Stats()
+	} else {
+		d.segMu[0].RLock()
+		st = d.ix.Stats()
+		d.segMu[0].RUnlock()
+	}
+	d.stateMu.RLock()
+	for _, w := range d.wals {
+		st.IndexBytes += int(w.Size())
+	}
+	d.stateMu.RUnlock()
+	st.Name = "durable(" + st.Name + ")"
+	return st
+}
+
+// LookupBatch resolves keys in one pass, delegating to the wrapped
+// index's batched path when it has one.
+func (d *Durable) LookupBatch(keys []core.Key) ([]core.Value, []bool) {
+	if d.batch != nil && d.concReads {
+		return d.batch.LookupBatch(keys)
+	}
+	vals := make([]core.Value, len(keys))
+	oks := make([]bool, len(keys))
+	for i, k := range keys {
+		vals[i], oks[i] = d.Get(k)
+	}
+	return vals, oks
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+// Put durably upserts (k, v): the record is framed into its WAL segment
+// and applied in memory before Put returns; under SyncAlways it is also
+// fsynced (group commit batches concurrent writers into one fsync).
+func (d *Durable) Put(k core.Key, v core.Value) error {
+	if err := d.Err(); err != nil {
+		return err
+	}
+	d.stateMu.RLock()
+	seg := d.seg(k)
+	w := d.wals[seg]
+	d.segMu[seg].Lock()
+	rec := Record{Seq: d.seq.Add(1), Op: OpInsert, Key: k, Val: v}
+	off, err := w.Append(rec)
+	if err == nil {
+		d.ix.Insert(k, v)
+	}
+	d.segMu[seg].Unlock()
+	d.stateMu.RUnlock()
+	if err != nil {
+		d.fail(err)
+		return err
+	}
+	if d.cfg.Fsync == SyncAlways {
+		if err := w.SyncTo(off); err != nil {
+			d.fail(err)
+			return err
+		}
+	}
+	d.bumpCheckpoint(1)
+	return nil
+}
+
+// Del durably removes k, reporting whether it was present.
+func (d *Durable) Del(k core.Key) (bool, error) {
+	if err := d.Err(); err != nil {
+		return false, err
+	}
+	d.stateMu.RLock()
+	seg := d.seg(k)
+	w := d.wals[seg]
+	d.segMu[seg].Lock()
+	rec := Record{Seq: d.seq.Add(1), Op: OpDelete, Key: k}
+	off, err := w.Append(rec)
+	ok := false
+	if err == nil {
+		ok = d.ix.Delete(k)
+	}
+	d.segMu[seg].Unlock()
+	d.stateMu.RUnlock()
+	if err != nil {
+		d.fail(err)
+		return false, err
+	}
+	if d.cfg.Fsync == SyncAlways {
+		if err := w.SyncTo(off); err != nil {
+			d.fail(err)
+			return ok, err
+		}
+	}
+	d.bumpCheckpoint(1)
+	return ok, nil
+}
+
+// Insert implements MutableIndex. I/O errors latch into Err and turn
+// further mutations into no-ops; callers that need the error use Put.
+func (d *Durable) Insert(k core.Key, v core.Value) { d.Put(k, v) }
+
+// Delete implements MutableIndex; see Insert for error handling.
+func (d *Durable) Delete(k core.Key) bool {
+	ok, _ := d.Del(k)
+	return ok
+}
+
+// InsertBatch durably upserts recs: records are grouped by WAL segment,
+// each group is framed as one contiguous append and applied under its
+// segment lock (groups proceed in parallel), then each touched segment
+// is group-committed once under SyncAlways.
+func (d *Durable) InsertBatch(recs []core.KV) {
+	if len(recs) == 0 || d.Err() != nil {
+		return
+	}
+	d.stateMu.RLock()
+	groups := make(map[int][]core.KV)
+	for _, r := range recs {
+		seg := d.seg(r.Key)
+		groups[seg] = append(groups[seg], r)
+	}
+	var wg sync.WaitGroup
+	offs := make([]int64, d.segments)
+	for seg, group := range groups {
+		wg.Add(1)
+		go func(seg int, group []core.KV) {
+			defer wg.Done()
+			w := d.wals[seg]
+			d.segMu[seg].Lock()
+			wrecs := make([]Record, len(group))
+			for i, r := range group {
+				wrecs[i] = Record{Seq: d.seq.Add(1), Op: OpInsert, Key: r.Key, Val: r.Value}
+			}
+			off, err := w.Append(wrecs...)
+			if err == nil {
+				if d.batch != nil {
+					d.batch.InsertBatch(group)
+				} else {
+					for _, r := range group {
+						d.ix.Insert(r.Key, r.Value)
+					}
+				}
+				offs[seg] = off
+			} else {
+				d.fail(err)
+			}
+			d.segMu[seg].Unlock()
+		}(seg, group)
+	}
+	wg.Wait()
+	if d.cfg.Fsync == SyncAlways {
+		for seg := range groups {
+			if offs[seg] > 0 {
+				if err := d.wals[seg].SyncTo(offs[seg]); err != nil {
+					d.fail(err)
+				}
+			}
+		}
+	}
+	d.stateMu.RUnlock()
+	d.bumpCheckpoint(len(recs))
+}
+
+func (d *Durable) bumpCheckpoint(n int) {
+	if d.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	if d.sinceCkpt.Add(int64(n)) >= int64(d.cfg.CheckpointEvery) {
+		select {
+		case d.ckptCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / lifecycle
+// ---------------------------------------------------------------------------
+
+// Checkpoint rotates to the next generation: the record set is captured
+// under a consistent cut while fresh WAL segments are swapped in, the
+// snapshot is written to a temp file and atomically renamed into place,
+// and only then are the previous generation's files removed. A crash at
+// any point leaves either the old snapshot plus complete old WAL, or the
+// new snapshot — never a state that loses committed records.
+func (d *Durable) Checkpoint() error {
+	if err := d.Err(); err != nil {
+		return err
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+
+	// Consistent cut: writers drain, the record set and sequence number
+	// are captured, and fresh segments take over before writers resume.
+	d.stateMu.Lock()
+	newGen := d.gen + 1
+	newWals, err := d.openGeneration(newGen)
+	if err != nil {
+		d.stateMu.Unlock()
+		return err
+	}
+	recs := make([]core.KV, 0, d.ix.Len())
+	d.ix.Range(0, ^core.Key(0), func(k core.Key, v core.Value) bool {
+		recs = append(recs, core.KV{Key: k, Value: v})
+		return true
+	})
+	lastSeq := d.seq.Load()
+	oldGen, oldWals := d.gen, d.wals
+	d.gen, d.wals = newGen, newWals
+	d.sinceCkpt.Store(0)
+	d.stateMu.Unlock()
+
+	// The old log must be fully durable before its records move into the
+	// snapshot; Close fsyncs, after which in-flight SyncTo calls from
+	// writers that raced the rotation resolve as already-covered.
+	for _, w := range oldWals {
+		if err := w.Close(); err != nil {
+			d.fail(err)
+			return err
+		}
+	}
+	if err := WriteSnapshot(snapPath(d.dir, newGen), &SnapshotData{
+		Meta: d.meta, Recs: recs, LastSeq: lastSeq,
+	}); err != nil {
+		d.fail(err)
+		return err
+	}
+	// The new snapshot is durable: generations before it are garbage.
+	st, err := scanDir(d.dir)
+	if err == nil {
+		for gen, path := range st.snaps {
+			if gen < newGen {
+				os.Remove(path)
+			}
+		}
+		for gen, segs := range st.wals {
+			if gen <= oldGen {
+				for _, path := range segs {
+					os.Remove(path)
+				}
+			}
+		}
+		syncDir(d.dir)
+	}
+	d.emit(obs.EvCheckpoint, len(recs), fmt.Sprintf("gen=%d", newGen))
+	return nil
+}
+
+// Sync fsyncs every WAL segment (a durability barrier under SyncInterval
+// and SyncNever).
+func (d *Durable) Sync() error {
+	d.stateMu.RLock()
+	wals := d.wals
+	d.stateMu.RUnlock()
+	for _, w := range wals {
+		if err := w.SyncTo(w.Size()); err != nil {
+			d.fail(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops background work, makes the WAL durable and closes the
+// files. It does not checkpoint: the next Open replays the log.
+func (d *Durable) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(d.stop)
+	d.bg.Wait()
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
+	var first error
+	for _, w := range d.wals {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Crash simulates a process kill: background work stops and the files
+// are closed without any final fsync or checkpoint. State that was not
+// yet synced is exactly what a real crash would lose. The store is
+// unusable afterwards; reopen the directory with Open.
+func (d *Durable) Crash() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(d.stop)
+	d.bg.Wait()
+	d.stateMu.Lock()
+	defer d.stateMu.Unlock()
+	var first error
+	for _, w := range d.wals {
+		if err := w.Crash(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

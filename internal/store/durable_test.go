@@ -1,0 +1,451 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
+)
+
+// memIndex is a locked ordered-map index for exercising the durable
+// wrapper without dragging a real index kind into the package's tests.
+type memIndex struct {
+	mu sync.RWMutex
+	m  map[core.Key]core.Value
+}
+
+func newMemIndex(recs []core.KV) *memIndex {
+	ix := &memIndex{m: make(map[core.Key]core.Value, len(recs))}
+	for _, r := range recs {
+		ix.m[r.Key] = r.Value
+	}
+	return ix
+}
+
+func (ix *memIndex) Get(k core.Key) (core.Value, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	v, ok := ix.m[k]
+	return v, ok
+}
+
+func (ix *memIndex) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	ix.mu.RLock()
+	keys := make([]core.Key, 0, len(ix.m))
+	for k := range ix.m {
+		if k >= lo && k <= hi {
+			keys = append(keys, k)
+		}
+	}
+	ix.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	n := 0
+	for _, k := range keys {
+		v, ok := ix.Get(k)
+		if !ok {
+			continue
+		}
+		n++
+		if !fn(k, v) {
+			break
+		}
+	}
+	return n
+}
+
+func (ix *memIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.m)
+}
+
+func (ix *memIndex) Stats() core.Stats {
+	return core.Stats{Name: "mem", Count: ix.Len()}
+}
+
+func (ix *memIndex) Insert(k core.Key, v core.Value) {
+	ix.mu.Lock()
+	ix.m[k] = v
+	ix.mu.Unlock()
+}
+
+func (ix *memIndex) Delete(k core.Key) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	_, ok := ix.m[k]
+	delete(ix.m, k)
+	return ok
+}
+
+// memBuild returns a BuildFunc producing a memIndex with the given
+// segment count (keys route by modulo; stable, which is all Durable
+// needs).
+func memBuild(segments int) BuildFunc {
+	return func(meta map[string]string, recs []core.KV) (BuildResult, error) {
+		res := BuildResult{Index: newMemIndex(recs), Segments: segments}
+		if segments > 1 {
+			res.ConcurrentReads = true
+			res.Route = func(k core.Key) int { return int(k % core.Key(segments)) }
+		}
+		return res, nil
+	}
+}
+
+func collect(d *Durable) []core.KV {
+	var out []core.KV
+	d.Range(0, ^core.Key(0), func(k core.Key, v core.Value) bool {
+		out = append(out, core.KV{Key: k, Value: v})
+		return true
+	})
+	return out
+}
+
+func TestDurableBasic(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(1))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := d.Put(core.Key(i), core.Value(i*2)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if ok, err := d.Del(50); err != nil || !ok {
+		t.Fatalf("del: ok=%v err=%v", ok, err)
+	}
+	if ok, err := d.Del(1000); err != nil || ok {
+		t.Fatalf("del missing: ok=%v err=%v", ok, err)
+	}
+	if d.Len() != 99 {
+		t.Fatalf("len %d, want 99", d.Len())
+	}
+	if v, ok := d.Get(7); !ok || v != 14 {
+		t.Fatalf("get(7) = %d,%v", v, ok)
+	}
+	if _, ok := d.Get(50); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Reopen: the WAL replays into an identical index.
+	d2, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(1))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 99 {
+		t.Fatalf("recovered len %d, want 99", d2.Len())
+	}
+	info := d2.RecoveryInfo()
+	if info.WALRecs != 102 {
+		t.Fatalf("recovery replayed %d records, want 102", info.WALRecs)
+	}
+	if v, ok := d2.Get(7); !ok || v != 14 {
+		t.Fatalf("recovered get(7) = %d,%v", v, ok)
+	}
+}
+
+func TestDurableCheckpointRotatesAndGCs(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		d.Put(core.Key(i), core.Value(i))
+	}
+	gen := d.Gen()
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if d.Gen() != gen+1 {
+		t.Fatalf("gen %d after checkpoint, want %d", d.Gen(), gen+1)
+	}
+	// Post-checkpoint mutations land in the new generation's WAL.
+	for i := 200; i < 250; i++ {
+		d.Put(core.Key(i), core.Value(i))
+	}
+	d.Close()
+
+	// Old generation files are gone; exactly one snapshot plus the
+	// current WAL remain.
+	st, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.snaps) != 1 || len(st.wals) != 1 {
+		t.Fatalf("post-GC dir: %d snaps %d wal gens", len(st.snaps), len(st.wals))
+	}
+
+	d2, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(1))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 250 {
+		t.Fatalf("recovered len %d, want 250", d2.Len())
+	}
+	info := d2.RecoveryInfo()
+	if info.SnapshotRecs != 200 || info.WALRecs != 50 {
+		t.Fatalf("recovery split snap=%d wal=%d, want 200/50", info.SnapshotRecs, info.WALRecs)
+	}
+}
+
+func TestDurableCreateSeedsAndRefuses(t *testing.T) {
+	dir := t.TempDir()
+	seed := testKVs(500)
+	d, err := Create(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(1), seed)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if d.Len() != 500 {
+		t.Fatalf("seeded len %d", d.Len())
+	}
+	d.Close()
+	if _, err := Create(dir, Config{}, memBuild(1), nil); err == nil {
+		t.Fatal("second Create on a populated dir must fail")
+	}
+	// The seed is durable without any WAL record.
+	d2, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(1))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 500 {
+		t.Fatalf("recovered seed len %d", d2.Len())
+	}
+}
+
+func TestDurableMetaPersists(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Fsync: SyncNever, CheckpointEvery: -1, Meta: map[string]string{"kind": "mem", "x": "1"}}
+	d, err := Create(dir, cfg, memBuild(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(1, 1)
+	d.Close()
+
+	var gotMeta map[string]string
+	build := func(meta map[string]string, recs []core.KV) (BuildResult, error) {
+		gotMeta = meta
+		return memBuild(1)(meta, recs)
+	}
+	d2, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if gotMeta["kind"] != "mem" || gotMeta["x"] != "1" {
+		t.Fatalf("builder saw meta %v", gotMeta)
+	}
+	if d2.Meta()["kind"] != "mem" {
+		t.Fatalf("Meta() = %v", d2.Meta())
+	}
+}
+
+func TestDurableSegmentedConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	const segs = 4
+	d, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(segs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Segments() != segs {
+		t.Fatalf("segments %d", d.Segments())
+	}
+	const writers, each = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				k := core.Key(g*each + i)
+				if err := d.Put(k, core.Value(k*3)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if i%10 == 9 {
+					d.Del(k) // exercise cross-op ordering per key
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := collect(d)
+	d.Close()
+
+	// Parallel multi-segment recovery merges by seq into the same state.
+	d2, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(segs))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	got := collect(d2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDurableSegmentCountChangeAcrossSessions(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		d.Put(core.Key(i), core.Value(i))
+	}
+	d.Close()
+	// Reopening with a different segmentation must still recover all
+	// records: recovery merges every segment by seq regardless of layout.
+	d2, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 300 {
+		t.Fatalf("recovered %d records across segment-count change", d2.Len())
+	}
+}
+
+func TestDurableAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: 100}, memBuild(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		d.Put(core.Key(i), core.Value(i))
+	}
+	// The background checkpointer must rotate at least once; it runs
+	// asynchronously, so poll with a generous deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Gen() == 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d.Gen() == 1 {
+		t.Fatal("background checkpoint never fired")
+	}
+	d.Close()
+}
+
+func TestDurableObservability(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewMetrics("dur")
+	d, err := Open(dir, Config{Fsync: SyncAlways, CheckpointEvery: -1, Metrics: m}, memBuild(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d.Put(core.Key(i), core.Value(i))
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if m.Events.Count(obs.EvWALFlush) == 0 {
+		t.Fatal("no wal_flush events under SyncAlways")
+	}
+	if m.Events.Count(obs.EvCheckpoint) != 1 {
+		t.Fatalf("checkpoint events %d", m.Events.Count(obs.EvCheckpoint))
+	}
+	if m.FsyncNS.Snapshot().Count == 0 {
+		t.Fatal("fsync histogram empty")
+	}
+
+	m2 := obs.NewMetrics("dur2")
+	d2, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1, Metrics: m2}, memBuild(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Close()
+	if m2.Events.Count(obs.EvRecovery) != 1 {
+		t.Fatalf("recovery events %d", m2.Events.Count(obs.EvRecovery))
+	}
+}
+
+func TestDurableStatsWrapped(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Put(1, 1)
+	st := d.Stats()
+	if !strings.HasPrefix(st.Name, "durable(") {
+		t.Fatalf("stats name %q", st.Name)
+	}
+	if st.IndexBytes == 0 {
+		t.Fatal("stats does not count WAL bytes")
+	}
+}
+
+func TestDurableCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d.Put(core.Key(i), core.Value(i))
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 120; i++ {
+		d.Put(core.Key(i), core.Value(i))
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Corrupt the newest snapshot. After the second checkpoint the first
+	// generation was GC'd, so recovery falls back to an empty base — but
+	// it must not abort, and the corrupt-snapshot count must say why.
+	st, _ := scanDir(dir)
+	if len(st.snaps) != 1 {
+		t.Fatalf("snaps after GC: %d", len(st.snaps))
+	}
+	for _, path := range st.snaps {
+		data, _ := os.ReadFile(path)
+		data[len(data)/2] ^= 0xff
+		os.WriteFile(path, data, 0o644)
+	}
+	d2, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(1))
+	if err != nil {
+		t.Fatalf("open with corrupt snapshot: %v", err)
+	}
+	defer d2.Close()
+	if d2.RecoveryInfo().CorruptSnapshots != 1 {
+		t.Fatalf("corrupt snapshots %d", d2.RecoveryInfo().CorruptSnapshots)
+	}
+}
+
+func TestScanDirIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "README"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "snap-zzzz.lix"), []byte("x"), 0o644)
+	d, err := Open(dir, Config{Fsync: SyncNever, CheckpointEvery: -1}, memBuild(1))
+	if err != nil {
+		t.Fatalf("open with foreign files: %v", err)
+	}
+	d.Close()
+}

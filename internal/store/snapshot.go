@@ -1,0 +1,257 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// Snapshot on-disk format. A snapshot file is a magic string followed by
+// CRC32C-framed sections:
+//
+//	file:    magic "LIXSNAP1" | section*
+//	section: u8 id | u64 payload length | payload | u32 CRC32C(id, length, payload)
+//
+// Sections (in write order):
+//
+//	meta (1):    u32 pair count | (u16 klen, key bytes, u16 vlen, value bytes)*
+//	records (2): u64 count | (u64 key, u64 value)* — sorted ascending by key
+//	state (3):   u64 last committed WAL sequence number
+//	footer (240): u64 record count echo — marks the file complete
+//
+// All integers are little-endian. A reader accepts a snapshot only if
+// every section's CRC validates and the footer is present with a matching
+// record count; anything else (torn write, bit rot, partial copy) makes
+// the whole snapshot invalid and recovery falls back to the previous
+// generation. Writers get atomicity from temp-file-then-rename: the final
+// name only ever refers to a fully written, fsynced file.
+const (
+	snapMagic = "LIXSNAP1"
+
+	secMeta    = 1
+	secRecords = 2
+	secState   = 3
+	secFooter  = 240
+
+	// maxSnapSection bounds a declared section length during parsing
+	// (1 GiB ~ 64M records) so corrupt lengths fail fast instead of
+	// attempting huge allocations.
+	maxSnapSection = 1 << 30
+)
+
+// SnapshotData is the logical content of one snapshot: the rebuild
+// parameters, the full record set and the WAL sequence high-water mark at
+// checkpoint time.
+type SnapshotData struct {
+	Meta    map[string]string
+	Recs    []core.KV
+	LastSeq uint64
+}
+
+func appendSection(buf []byte, id byte, payload []byte) []byte {
+	var hdr [9]byte
+	hdr[0] = id
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
+	crc := crc32.Update(crc32.Checksum(hdr[:], castagnoli), castagnoli, payload)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// encodeSnapshot renders s into the file format.
+func encodeSnapshot(s *SnapshotData) []byte {
+	// Meta, keys sorted for deterministic bytes.
+	keys := make([]string, 0, len(s.Meta))
+	for k := range s.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	meta := binary.LittleEndian.AppendUint32(nil, uint32(len(keys)))
+	for _, k := range keys {
+		meta = binary.LittleEndian.AppendUint16(meta, uint16(len(k)))
+		meta = append(meta, k...)
+		meta = binary.LittleEndian.AppendUint16(meta, uint16(len(s.Meta[k])))
+		meta = append(meta, s.Meta[k]...)
+	}
+
+	recs := binary.LittleEndian.AppendUint64(nil, uint64(len(s.Recs)))
+	for _, r := range s.Recs {
+		recs = binary.LittleEndian.AppendUint64(recs, r.Key)
+		recs = binary.LittleEndian.AppendUint64(recs, r.Value)
+	}
+
+	state := binary.LittleEndian.AppendUint64(nil, s.LastSeq)
+	footer := binary.LittleEndian.AppendUint64(nil, uint64(len(s.Recs)))
+
+	buf := append([]byte(nil), snapMagic...)
+	buf = appendSection(buf, secMeta, meta)
+	buf = appendSection(buf, secRecords, recs)
+	buf = appendSection(buf, secState, state)
+	return appendSection(buf, secFooter, footer)
+}
+
+// DecodeSnapshot parses and validates snapshot bytes. It never panics on
+// arbitrary input.
+func DecodeSnapshot(data []byte) (*SnapshotData, error) {
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("store: snapshot: bad magic")
+	}
+	s := &SnapshotData{Meta: map[string]string{}}
+	off, footerCount, sawFooter := len(snapMagic), uint64(0), false
+	for off < len(data) {
+		if len(data)-off < 9+4 {
+			return nil, fmt.Errorf("store: snapshot: torn section header at %d", off)
+		}
+		id := data[off]
+		n := binary.LittleEndian.Uint64(data[off+1 : off+9])
+		if n > maxSnapSection || uint64(len(data)-off-9-4) < n {
+			return nil, fmt.Errorf("store: snapshot: section %d truncated at %d", id, off)
+		}
+		payload := data[off+9 : off+9+int(n)]
+		crc := crc32.Update(crc32.Checksum(data[off:off+9], castagnoli), castagnoli, payload)
+		if crc != binary.LittleEndian.Uint32(data[off+9+int(n):]) {
+			return nil, fmt.Errorf("store: snapshot: section %d CRC mismatch at %d", id, off)
+		}
+		switch id {
+		case secMeta:
+			if err := decodeMeta(payload, s.Meta); err != nil {
+				return nil, err
+			}
+		case secRecords:
+			recs, err := decodeRecs(payload)
+			if err != nil {
+				return nil, err
+			}
+			s.Recs = recs
+		case secState:
+			if len(payload) != 8 {
+				return nil, fmt.Errorf("store: snapshot: state section has %d bytes", len(payload))
+			}
+			s.LastSeq = binary.LittleEndian.Uint64(payload)
+		case secFooter:
+			if len(payload) != 8 {
+				return nil, fmt.Errorf("store: snapshot: footer has %d bytes", len(payload))
+			}
+			footerCount, sawFooter = binary.LittleEndian.Uint64(payload), true
+		default:
+			// Unknown CRC-valid sections are skipped for forward compatibility.
+		}
+		off += 9 + int(n) + 4
+	}
+	if !sawFooter {
+		return nil, fmt.Errorf("store: snapshot: missing footer (incomplete file)")
+	}
+	if footerCount != uint64(len(s.Recs)) {
+		return nil, fmt.Errorf("store: snapshot: footer records %d, section holds %d", footerCount, len(s.Recs))
+	}
+	return s, nil
+}
+
+func decodeMeta(p []byte, out map[string]string) error {
+	if len(p) < 4 {
+		return fmt.Errorf("store: snapshot: meta section has %d bytes", len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	off := 4
+	for i := 0; i < n; i++ {
+		k, next, err := decodeStr(p, off)
+		if err != nil {
+			return err
+		}
+		v, next2, err := decodeStr(p, next)
+		if err != nil {
+			return err
+		}
+		out[k] = v
+		off = next2
+	}
+	if off != len(p) {
+		return fmt.Errorf("store: snapshot: %d trailing meta bytes", len(p)-off)
+	}
+	return nil
+}
+
+func decodeStr(p []byte, off int) (string, int, error) {
+	if len(p)-off < 2 {
+		return "", 0, fmt.Errorf("store: snapshot: torn meta string at %d", off)
+	}
+	n := int(binary.LittleEndian.Uint16(p[off:]))
+	off += 2
+	if len(p)-off < n {
+		return "", 0, fmt.Errorf("store: snapshot: torn meta string at %d", off)
+	}
+	return string(p[off : off+n]), off + n, nil
+}
+
+func decodeRecs(p []byte) ([]core.KV, error) {
+	if len(p) < 8 {
+		return nil, fmt.Errorf("store: snapshot: records section has %d bytes", len(p))
+	}
+	n := binary.LittleEndian.Uint64(p)
+	if uint64(len(p)-8) != n*16 {
+		return nil, fmt.Errorf("store: snapshot: records section declares %d records in %d bytes", n, len(p)-8)
+	}
+	recs := make([]core.KV, n)
+	for i := range recs {
+		recs[i].Key = binary.LittleEndian.Uint64(p[8+16*i:])
+		recs[i].Value = binary.LittleEndian.Uint64(p[16+16*i:])
+		if i > 0 && recs[i].Key <= recs[i-1].Key {
+			return nil, fmt.Errorf("store: snapshot: records not strictly ascending at %d", i)
+		}
+	}
+	return recs, nil
+}
+
+// WriteSnapshot atomically writes s to path: the bytes go to a temp file
+// in the same directory, which is fsynced, renamed over path, and the
+// directory fsynced so the rename itself is durable. Readers therefore
+// never observe a partially written snapshot under the final name.
+func WriteSnapshot(path string, s *SnapshotData) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encodeSnapshot(s)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ReadSnapshot loads and validates the snapshot at path.
+func ReadSnapshot(path string) (*SnapshotData, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(data)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Errors are returned except on platforms where directories
+// cannot be fsynced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+func testKVs(n int) []core.KV {
+	out := make([]core.KV, n)
+	for i := range out {
+		out[i] = core.KV{Key: core.Key(i * 3), Value: core.Value(i * 11)}
+	}
+	return out
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.lix")
+	in := &SnapshotData{
+		Meta:    map[string]string{"kind": "btree", "shards": "4"},
+		Recs:    testKVs(1000),
+		LastSeq: 42,
+	}
+	if err := WriteSnapshot(path, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if out.LastSeq != 42 || len(out.Recs) != 1000 {
+		t.Fatalf("round trip: seq=%d recs=%d", out.LastSeq, len(out.Recs))
+	}
+	for i := range in.Recs {
+		if out.Recs[i] != in.Recs[i] {
+			t.Fatalf("record %d: %v != %v", i, out.Recs[i], in.Recs[i])
+		}
+	}
+	if out.Meta["kind"] != "btree" || out.Meta["shards"] != "4" {
+		t.Fatalf("meta %v", out.Meta)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.lix")
+	if err := WriteSnapshot(path, &SnapshotData{}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(out.Recs) != 0 || len(out.Meta) != 0 || out.LastSeq != 0 {
+		t.Fatalf("empty snapshot decoded as %+v", out)
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	s := &SnapshotData{
+		Meta: map[string]string{"b": "2", "a": "1", "c": "3"},
+		Recs: testKVs(10),
+	}
+	if !bytes.Equal(encodeSnapshot(s), encodeSnapshot(s)) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.lix")
+	if err := WriteSnapshot(path, &SnapshotData{Recs: testKVs(100), LastSeq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := os.ReadFile(path)
+
+	cases := map[string]func([]byte) []byte{
+		"truncated":      func(b []byte) []byte { return b[:len(b)-9] },
+		"missing footer": func(b []byte) []byte { return b[:len(b)-8-9-4] },
+		"flipped byte":   func(b []byte) []byte { b[len(snapMagic)+40] ^= 1; return b },
+		"bad magic":      func(b []byte) []byte { b[0] = 'X'; return b },
+		"empty":          func(b []byte) []byte { return nil },
+	}
+	for name, mut := range cases {
+		data := mut(append([]byte(nil), clean...))
+		if _, err := DecodeSnapshot(data); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+}
+
+func TestSnapshotRejectsUnsortedRecords(t *testing.T) {
+	recs := []core.KV{{Key: 5, Value: 1}, {Key: 3, Value: 2}}
+	data := encodeSnapshot(&SnapshotData{Recs: recs})
+	if _, err := DecodeSnapshot(data); err == nil || !strings.Contains(err.Error(), "ascending") {
+		t.Fatalf("unsorted records accepted: %v", err)
+	}
+}
+
+func TestWriteSnapshotLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(filepath.Join(dir, "snap.lix"), &SnapshotData{Recs: testKVs(5)}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || entries[0].Name() != "snap.lix" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want just snap.lix", names)
+	}
+}

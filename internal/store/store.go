@@ -1,0 +1,160 @@
+// Package store is the durable storage subsystem of the lix library. It
+// persists any mutable index kind with the classic snapshot-plus-log
+// shape used by disk-resident DBMS engines ("Updatable Learned Indexes
+// Meet Disk-Resident DBMS"): a versioned binary snapshot codec with
+// CRC32C-framed sections checkpoints the full record set, an append-only
+// write-ahead log with length+CRC record framing and batched group commit
+// makes individual mutations durable, and recovery replays the committed
+// WAL suffix over the newest valid snapshot, truncating at the first torn
+// or corrupt entry instead of failing.
+//
+// Files live in one directory and carry a generation number:
+//
+//	snap-<gen>.lix        full checkpoint (meta + records, CRC-framed)
+//	wal-<gen>-<seg>.lix   WAL segment <seg> of generation <gen>
+//
+// A checkpoint atomically rotates to the next generation: new WAL
+// segments are created first, the snapshot is written to a temp file,
+// fsynced and renamed into place, and only then are the previous
+// generation's files deleted. Recovery therefore always finds either the
+// old snapshot plus the complete old WAL, or the new snapshot — replaying
+// every WAL generation at or after the newest valid snapshot, merged by
+// global sequence number, reconstructs the exact committed state for any
+// crash point.
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// castagnoli is the CRC32C polynomial table shared by the WAL and the
+// snapshot codec (iSCSI polynomial, hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when the WAL is fsynced. The zero value is
+// SyncAlways: the safest policy is the default.
+type SyncPolicy uint8
+
+// The fsync policies.
+const (
+	// SyncAlways fsyncs before every mutation returns (group commit
+	// batches concurrent writers into one fsync).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background flusher on a fixed cadence; a
+	// crash may lose the last interval's writes.
+	SyncInterval
+	// SyncNever leaves flushing to the operating system; a crash may lose
+	// anything since the last checkpoint or explicit Sync.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", uint8(p))
+}
+
+// ParseSyncPolicy parses the String form of a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown sync policy %q (want always, interval or never)", s)
+}
+
+// OpKind is the WAL operation discriminator.
+type OpKind uint8
+
+// The logged operations. Values are part of the on-disk format.
+const (
+	OpInsert OpKind = 1
+	OpDelete OpKind = 2
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Record is one logged mutation. Seq is the global commit order across
+// all WAL segments of a store: per-segment logs are merged by Seq during
+// recovery, so records of the same key (which always route to the same
+// segment while a generation is live) replay in their original order.
+type Record struct {
+	Seq uint64
+	Op  OpKind
+	Key core.Key
+	Val core.Value // meaningful for OpInsert only
+}
+
+func (r Record) String() string {
+	if r.Op == OpInsert {
+		return fmt.Sprintf("#%d insert(%d, %d)", r.Seq, r.Key, r.Val)
+	}
+	return fmt.Sprintf("#%d %s(%d)", r.Seq, r.Op, r.Key)
+}
+
+// MutableIndex is the structural index surface the durable layer wraps
+// (mirrors the public façade's MutableIndex without importing it).
+type MutableIndex interface {
+	Get(k core.Key) (core.Value, bool)
+	Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int
+	Len() int
+	Stats() core.Stats
+	Insert(k core.Key, v core.Value)
+	Delete(k core.Key) bool
+}
+
+// BatchIndex is the optional batched surface (the sharded serving layer
+// provides it); Durable passes batches through when present.
+type BatchIndex interface {
+	LookupBatch(keys []core.Key) ([]core.Value, []bool)
+	InsertBatch(recs []core.KV)
+}
+
+// Router maps a key to its WAL segment. While a generation is live the
+// routing must be stable (the same key always lands in the same segment)
+// so that per-key operation order survives the per-segment merge.
+type Router func(k core.Key) int
+
+// BuildResult is what a BuildFunc returns: the in-memory index plus the
+// WAL segmentation scheme it implies.
+type BuildResult struct {
+	// Index is the rebuilt in-memory index.
+	Index MutableIndex
+	// Route maps keys to WAL segments (nil routes everything to segment 0).
+	Route Router
+	// Segments is the WAL segment count (0 selects 1). The sharded layer
+	// uses one segment per shard so group commits proceed in parallel.
+	Segments int
+	// ConcurrentReads declares the index safe for reads concurrent with
+	// writes (the sharded layer, XIndex). When false the durable wrapper
+	// serializes reads against writes itself, which requires Segments == 1.
+	ConcurrentReads bool
+}
+
+// BuildFunc rebuilds the in-memory index during Open/Create. meta is the
+// rebuild-parameter map persisted in the newest snapshot, or nil when the
+// directory is fresh (the builder then uses its own defaults, which are
+// persisted by the first checkpoint). recs is the recovered record set,
+// sorted ascending by key.
+type BuildFunc func(meta map[string]string, recs []core.KV) (BuildResult, error)
