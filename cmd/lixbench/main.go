@@ -17,6 +17,9 @@
 //	lixbench -compare BENCH_old.json,BENCH_new.json
 //	                                           # exit 1 if any result
 //	                                           # regressed by >15%
+//	lixbench -batch 16,256,1024 -shards 8      # batched vs looped ops
+//	                                           # (results merge into an
+//	                                           # existing BENCH_<rev>.json)
 //
 // Profiling and metrics:
 //
@@ -78,6 +81,8 @@ func main() {
 
 		durable = flag.Bool("durable", false, "durability mode: measure WAL insert throughput and cold-start recovery")
 		fsync   = flag.String("fsync", "all", "durability mode: fsync policy to measure (always|interval|never|all)")
+
+		batch = flag.String("batch", "", "batch mode: comma-separated batch sizes, e.g. '16,256,1024'")
 	)
 	flag.Parse()
 	if *list {
@@ -86,6 +91,10 @@ func main() {
 	}
 	if *compare != "" {
 		compareBenchFiles(*compare)
+		return
+	}
+	if *batch != "" {
+		runBatch(*batch, *shards, *n, *q, *seed, *quick, *rev, *benchOut)
 		return
 	}
 	if *durable {
@@ -258,6 +267,63 @@ func runDurable(fsync string, shards, workers, n, q int, seed int64, quick bool,
 			fatal(err)
 		}
 		path := filepath.Join(outDir, "BENCH_"+rev+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// runBatch executes the batched-vs-looped operation benchmark (lixbench
+// -batch 16,256,1024). With -bench-out the batch/... results are merged
+// into an existing BENCH_<rev>.json (appending to a serving or durable
+// run's results) or written fresh, so one CI job can accumulate every
+// mode into a single regression file.
+func runBatch(sizeSpec string, shards, n, q int, seed int64, quick bool, rev, outDir string) {
+	var sizes []int
+	for _, part := range strings.Split(sizeSpec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var size int
+		if _, err := fmt.Sscanf(part, "%d", &size); err != nil || size <= 0 {
+			fatal(fmt.Errorf("-batch wants comma-separated positive sizes, got %q", sizeSpec))
+		}
+		sizes = append(sizes, size)
+	}
+	cfg := bench.BatchConfig{Sizes: sizes, Shards: shards, Seed: seed}
+	if quick {
+		cfg.N, cfg.Ops = 100_000, 20_000
+	}
+	if n > 0 {
+		cfg.N = n
+	}
+	if q > 0 {
+		cfg.Ops = q
+	}
+
+	tables, results, err := bench.RunBatch(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	if outDir != "" {
+		path := filepath.Join(outDir, "BENCH_"+rev+".json")
+		f := bench.BenchFile{Rev: rev}
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &f); err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+		}
+		f.Rev = rev
+		f.Results = append(f.Results, results...)
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			fatal(err)
 		}

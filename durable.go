@@ -7,6 +7,7 @@ import (
 
 	"github.com/lix-go/lix/internal/core"
 	"github.com/lix-go/lix/internal/obs"
+	"github.com/lix-go/lix/internal/registry"
 	"github.com/lix-go/lix/internal/store"
 )
 
@@ -97,7 +98,7 @@ func durablePlan(opts DurableOptions) (store.Config, store.BuildFunc, error) {
 	if kind == "" {
 		kind = "btree"
 	}
-	if _, err := BuildMutable1D(kind); err != nil {
+	if _, err := registry.Mutable(kind); err != nil {
 		return store.Config{}, nil, err
 	}
 	if opts.Shards < 0 {
@@ -145,7 +146,7 @@ func durablePlan(opts DurableOptions) (store.Config, store.BuildFunc, error) {
 				ConcurrentReads: true,
 			}, nil
 		}
-		ix, err := buildMutableBulk(useKind, recs)
+		ix, err := registry.BuildMutable(useKind, recs)
 		if err != nil {
 			return store.BuildResult{}, err
 		}
@@ -165,29 +166,8 @@ func parseDurableMeta(meta map[string]string) (kind string, shards int, err erro
 			return "", 0, fmt.Errorf("lix: snapshot meta %q=%q invalid", metaShards, s)
 		}
 	}
-	if _, err := BuildMutable1D(kind); err != nil {
+	if _, err := registry.Mutable(kind); err != nil {
 		return "", 0, err
 	}
 	return kind, shards, nil
-}
-
-// buildMutableBulk builds a mutable index of the named kind preloaded
-// with recs, through the kind's bulk path when it has one.
-func buildMutableBulk(kind string, recs []KV) (MutableIndex, error) {
-	switch kind {
-	case "btree":
-		return BulkBTree(0, recs)
-	case "alex":
-		return BulkALEX(recs)
-	case "lipp":
-		return BulkLIPP(recs)
-	}
-	ix, err := BuildMutable1D(kind)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range recs {
-		ix.Insert(r.Key, r.Value)
-	}
-	return ix, nil
 }

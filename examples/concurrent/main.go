@@ -39,11 +39,12 @@ func main() {
 		panic(err)
 	}
 	var mu sync.RWMutex
-	srw, err := lix.NewSharded(recs, lix.ShardedConfig{Shards: 8})
+	// Both sharded modes assembled through the canonical stack constructor.
+	srw, err := lix.NewStack(recs, lix.StackConfig{Shards: 8})
 	if err != nil {
 		panic(err)
 	}
-	srcu, err := lix.NewSharded(recs, lix.ShardedConfig{Shards: 8, Mode: lix.ShardRCU, DeltaCap: 8192})
+	srcu, err := lix.NewStack(recs, lix.StackConfig{Shards: 8, Mode: lix.ShardRCU, DeltaCap: 8192})
 	if err != nil {
 		panic(err)
 	}
@@ -100,8 +101,9 @@ func main() {
 	fmt.Printf("\nLookupBatch: %d keys in %v (%d hits, %d values)\n",
 		len(batch), time.Since(start), countTrue(hits), len(vals))
 
+	// Layer-specific stats live on the layer: Stack.Sharded exposes it.
 	fmt.Printf("sharded-rw imbalance %.2fx, sharded-rcu swaps %d\n",
-		srw.Imbalance(), srcu.RCUSwaps())
+		srw.Sharded().Imbalance(), srcu.Sharded().RCUSwaps())
 }
 
 func countTrue(bs []bool) int {

@@ -73,6 +73,32 @@ func main() {
 	alex.Delete(lix.Key(7))
 	v, ok := alex.Get(lix.Key(14))
 	fmt.Printf("  after 100k inserts + delete: Get(14) = %d,%v, Len = %d\n", v, ok, alex.Len())
+
+	// The serving stack: one call composes backend → shards → metrics,
+	// with batched operations dispatched to each layer's native batch
+	// path (one shard lock per batch instead of one per record).
+	fmt.Println("\nServing stack (lix.NewStack):")
+	m := lix.NewMetrics("quickstart")
+	s, err := lix.NewStack(recs, lix.StackConfig{Kind: "btree", Shards: 8, Metrics: m})
+	check(err)
+	defer s.Close()
+	keys := make([]lix.Key, 1000)
+	for i := range keys {
+		keys[i] = recs[i*3].Key
+	}
+	_, hits := s.LookupBatch(keys)
+	found := 0
+	for _, ok := range hits {
+		if ok {
+			found++
+		}
+	}
+	span := s.SearchRange(recs[100].Key, recs[200].Key)
+	snap := m.Snapshot()
+	fmt.Printf("  LookupBatch(%d keys): %d hits; SearchRange: %d records\n",
+		len(keys), found, len(span))
+	fmt.Printf("  metered: %d lookups in %d batches, %d range scans\n",
+		snap.Counters["lookups"], snap.Counters["batches"], snap.Counters["ranges"])
 }
 
 func check(err error) {

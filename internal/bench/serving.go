@@ -75,9 +75,11 @@ func servingSystems(cfg ServingConfig) []servingSystem {
 			},
 		},
 		{
+			// Assembled through the one-call stack constructor — the serving
+			// path the façade documents.
 			name: fmt.Sprintf("sharded-rw(%d)", cfg.Shards),
 			build: func(recs []core.KV) (func(core.Key) (core.Value, bool), func(core.Key, core.Value), error) {
-				s, err := lix.NewSharded(recs, lix.ShardedConfig{Shards: cfg.Shards})
+				s, err := lix.NewStack(recs, lix.StackConfig{Shards: cfg.Shards})
 				if err != nil {
 					return nil, nil, err
 				}
@@ -87,7 +89,7 @@ func servingSystems(cfg ServingConfig) []servingSystem {
 		{
 			name: fmt.Sprintf("sharded-rcu(%d)", cfg.Shards),
 			build: func(recs []core.KV) (func(core.Key) (core.Value, bool), func(core.Key, core.Value), error) {
-				s, err := lix.NewSharded(recs, lix.ShardedConfig{Shards: cfg.Shards, Mode: lix.ShardRCU, DeltaCap: 8192})
+				s, err := lix.NewStack(recs, lix.StackConfig{Shards: cfg.Shards, Mode: lix.ShardRCU, DeltaCap: 8192})
 				if err != nil {
 					return nil, nil, err
 				}

@@ -1,0 +1,120 @@
+package conform
+
+import (
+	"fmt"
+	"reflect"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// CheckBatchEquivalence replays w against a fresh instance of f, driving
+// maximal same-kind runs of operations through the batched dispatch
+// helpers (core.LookupBatch / InsertBatch / DeleteBatch, capped at
+// batchSize records per batch) while the sorted-slice oracle replays the
+// same operations strictly sequentially. Any state or result divergence
+// is an error: batching must be semantically invisible. Range operations
+// go through core.CollectRange, which pins the RangeSearcher capability
+// to the sequential scan. The duplicate-key contract inside one batch is
+// sequential-loop semantics — later-wins for inserts, first-wins for
+// delete liveness — which TestBatchLaterWinsPin asserts explicitly.
+func CheckBatchEquivalence(f Factory, w Workload1D, batchSize int) error {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	ix, err := f.Build1D(w.Init)
+	if err != nil {
+		return fmt.Errorf("%s/%s: build failed: %v", f.Name, w.Name, err)
+	}
+	defer closeIndex(ix)
+	o := newOracle1D(w.Init)
+	var mix MutableIndex
+	if f.Caps.Mutable {
+		m, ok := ix.(MutableIndex)
+		if !ok {
+			return fmt.Errorf("%s: factory declares Mutable but index lacks Insert/Delete", f.Name)
+		}
+		mix = m
+	}
+
+	fail := func(i int, format string, args ...any) error {
+		return fmt.Errorf("%s/%s: op[%d]: %s", f.Name, w.Name, i, fmt.Sprintf(format, args...))
+	}
+
+	ops := w.Ops
+	for i := 0; i < len(ops); {
+		kind := ops[i].Kind
+		// A maximal run of same-kind ops, capped at batchSize.
+		j := i + 1
+		for j < len(ops) && ops[j].Kind == kind && j-i < batchSize {
+			j++
+		}
+		run := ops[i:j]
+		switch kind {
+		case OpInsert:
+			recs := make([]core.KV, len(run))
+			for n, op := range run {
+				recs[n] = core.KV{Key: op.Key, Value: op.Val}
+				o.Insert(op.Key, op.Val)
+			}
+			core.InsertBatch(mix, recs)
+		case OpDelete:
+			keys := make([]core.Key, len(run))
+			want := make([]bool, len(run))
+			for n, op := range run {
+				keys[n] = op.Key
+				want[n] = o.Delete(op.Key)
+			}
+			got := core.DeleteBatch(mix, keys)
+			if !reflect.DeepEqual(got, want) {
+				return fail(i, "DeleteBatch(%d keys) = %v, oracle %v", len(keys), got, want)
+			}
+		case OpGet:
+			keys := make([]core.Key, len(run))
+			for n, op := range run {
+				keys[n] = op.Key
+			}
+			vals, oks := core.LookupBatch(ix, keys)
+			for n, k := range keys {
+				wv, wok := o.Get(k)
+				if oks[n] != wok || (wok && vals[n] != wv) {
+					return fail(i+n, "LookupBatch key %d = (%d, %v), oracle (%d, %v)",
+						k, vals[n], oks[n], wv, wok)
+				}
+			}
+		case OpRange:
+			// Ranges are checked one per op (there is no multi-interval
+			// batch surface), exercising the RangeSearcher capability.
+			for n, op := range run {
+				got := core.CollectRange(ix, op.Key, op.Hi)
+				want := []core.KV{}
+				o.Range(op.Key, op.Hi, func(k core.Key, v core.Value) bool {
+					want = append(want, core.KV{Key: k, Value: v})
+					return true
+				})
+				if !reflect.DeepEqual(got, want) {
+					return fail(i+n, "CollectRange(%d, %d) returned %d records, oracle %d",
+						op.Key, op.Hi, len(got), len(want))
+				}
+			}
+		case OpLen:
+			if got, want := ix.Len(), o.Len(); got != want {
+				return fail(i, "Len() = %d, oracle %d", got, want)
+			}
+		}
+		i = j
+	}
+
+	// Final state sweep: the whole key space, then cardinality.
+	got := core.CollectRange(ix, 0, ^core.Key(0))
+	if !reflect.DeepEqual(got, append([]core.KV{}, o.recs...)) {
+		return fmt.Errorf("%s/%s: final sweep diverged: %d records vs oracle %d",
+			f.Name, w.Name, len(got), o.Len())
+	}
+	if ix.Len() != o.Len() {
+		return fmt.Errorf("%s/%s: final Len() = %d, oracle %d", f.Name, w.Name, ix.Len(), o.Len())
+	}
+	if err := CheckInvariants(ix); err != nil {
+		return fmt.Errorf("%s/%s: invariants after batched replay: %v", f.Name, w.Name, err)
+	}
+	return nil
+}

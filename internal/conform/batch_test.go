@@ -1,0 +1,222 @@
+package conform
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	lix "github.com/lix-go/lix"
+	"github.com/lix-go/lix/internal/core"
+)
+
+// TestBatchEquivalence drives every registered 1-D factory — including
+// the layered durable-* and sharded-* configurations — through the
+// batched dispatch surface and demands state equivalence with the
+// sequentially-replayed oracle, over every workload shape.
+func TestBatchEquivalence(t *testing.T) {
+	nInit, nOps := diffSizes1D(t)
+	for _, f := range Factories1D() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, shape := range Shapes1D() {
+				w, err := NewWorkload1D(shape, nInit, nOps, f.Caps.Mutable, 0xBA7C4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := CheckBatchEquivalence(f, w, 64); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchLaterWinsPin pins the duplicate-key contract inside one batch
+// for every mutable factory: InsertBatch resolves duplicates later-wins,
+// DeleteBatch reports liveness first-wins — exactly what the equivalent
+// sequential loop would do.
+func TestBatchLaterWinsPin(t *testing.T) {
+	for _, f := range Factories1D() {
+		if !f.Caps.Mutable {
+			continue
+		}
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			ix, err := f.Build1D([]core.KV{{Key: 10, Value: 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeIndex(ix)
+			mix := ix.(MutableIndex)
+			core.InsertBatch(mix, []core.KV{
+				{Key: 42, Value: 1}, {Key: 7, Value: 3}, {Key: 42, Value: 2},
+			})
+			if v, ok := mix.Get(42); !ok || v != 2 {
+				t.Fatalf("Get(42) = (%d, %v), want later-wins (2, true)", v, ok)
+			}
+			if v, ok := mix.Get(7); !ok || v != 3 {
+				t.Fatalf("Get(7) = (%d, %v), want (3, true)", v, ok)
+			}
+			if oks := core.DeleteBatch(mix, []core.Key{42, 42, 99}); !oks[0] || oks[1] || oks[2] {
+				t.Fatalf("DeleteBatch(42, 42, 99) = %v, want [true false false]", oks)
+			}
+			if mix.Len() != 2 {
+				t.Fatalf("Len = %d, want 2 (keys 7, 10)", mix.Len())
+			}
+		})
+	}
+}
+
+// copyDir copies a flat store directory (no subdirectories).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDurableBatchCrashAtomicity asserts the all-or-prefix property of a
+// batched durable insert: the whole batch is one contiguous WAL frame
+// group, so truncating the log at any byte offset (the crash model)
+// recovers exactly a prefix of the batch in submission order — never a
+// subset with holes, never reordered.
+func TestDurableBatchCrashAtomicity(t *testing.T) {
+	const (
+		walHeader   = 24 // WAL file header bytes
+		insertFrame = 33 // u32 len + u32 crc + (op u8, seq u64, key u64, val u64)
+		batchLen    = 50
+	)
+	dir := t.TempDir()
+	d, err := lix.NewDurable(dir, nil, lix.DurableOptions{
+		Fsync: lix.FsyncNever, CheckpointEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys deliberately not in sorted order: the recovered prefix must
+	// follow batch submission order, not key order.
+	batch := make([]core.KV, batchLen)
+	for i := range batch {
+		batch[i] = core.KV{Key: core.Key((i*7919 + 13) % 1000), Value: core.Value(i + 1)}
+	}
+	d.InsertBatch(batch)
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	wals, err := filepath.Glob(filepath.Join(dir, "wal-*-000.lix"))
+	if err != nil || len(wals) == 0 {
+		t.Fatalf("no WAL segment found: %v (%v)", wals, err)
+	}
+	wal := wals[len(wals)-1] // lexicographically largest generation
+	walData, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := walHeader + batchLen*insertFrame; len(walData) != want {
+		t.Fatalf("WAL size %d, want %d (batch not one contiguous frame group?)", len(walData), want)
+	}
+
+	for _, cut := range []int{
+		walHeader,                       // everything torn
+		walHeader + insertFrame,         // exactly one frame
+		walHeader + 10*insertFrame + 17, // torn mid-frame after 10
+		walHeader + 49*insertFrame,      // one frame short
+		walHeader + 50*insertFrame,      // intact
+	} {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			cdir := t.TempDir()
+			copyDir(t, dir, cdir)
+			if err := os.Truncate(filepath.Join(cdir, filepath.Base(wal)), int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+			r, err := lix.Open(cdir, lix.DurableOptions{Fsync: lix.FsyncNever, CheckpointEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			wantFrames := (cut - walHeader) / insertFrame
+			// The recovered state must be exactly the batch prefix replayed
+			// sequentially (later-wins on duplicate keys within the prefix).
+			o := newOracle1D(nil)
+			for _, r := range batch[:wantFrames] {
+				o.Insert(r.Key, r.Value)
+			}
+			if r.Len() != o.Len() {
+				t.Fatalf("recovered Len = %d, want %d (prefix of %d frames)", r.Len(), o.Len(), wantFrames)
+			}
+			for _, rec := range o.recs {
+				v, ok := r.Get(rec.Key)
+				if !ok || v != rec.Value {
+					t.Fatalf("recovered Get(%d) = (%d, %v), want (%d, true)", rec.Key, v, ok, rec.Value)
+				}
+			}
+		})
+	}
+}
+
+// TestDurableBatchFsyncAmortization is the issue's measurable claim:
+// under FsyncAlways, inserting N records through one InsertBatch issues
+// at least 10x fewer fsyncs than N single Puts (group commit collapses
+// the whole batch into one fsync per touched segment).
+func TestDurableBatchFsyncAmortization(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 200
+	}
+	recs := make([]core.KV, n)
+	for i := range recs {
+		recs[i] = core.KV{Key: core.Key(i), Value: core.Value(i)}
+	}
+
+	run := func(batched bool) uint64 {
+		dir := t.TempDir()
+		d, err := lix.NewDurable(dir, nil, lix.DurableOptions{
+			Fsync: lix.FsyncAlways, CheckpointEvery: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := d.Fsyncs()
+		if batched {
+			d.InsertBatch(recs)
+		} else {
+			for _, r := range recs {
+				if err := d.Put(r.Key, r.Value); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		fsyncs := d.Fsyncs() - base
+		if d.Len() != n {
+			t.Fatalf("Len = %d, want %d", d.Len(), n)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return fsyncs
+	}
+
+	looped := run(false)
+	batched := run(true)
+	t.Logf("fsyncs: %d looped vs %d batched for %d records (%.0fx)",
+		looped, batched, n, float64(looped)/float64(max(batched, 1)))
+	if batched == 0 {
+		t.Fatal("batched insert issued no fsync under FsyncAlways")
+	}
+	if looped < 10*batched {
+		t.Fatalf("fsync amortization too weak: %d looped vs %d batched (want >= 10x)", looped, batched)
+	}
+}

@@ -108,7 +108,7 @@ type Factory struct {
 	BuildSpatial func(pvs []core.PV) (SpatialIndex, error)
 }
 
-var registry []Factory
+var factories []Factory
 
 // Register adds a factory to the registry. It panics on duplicate names or
 // inconsistent capability flags — both are programmer errors caught at
@@ -117,7 +117,7 @@ func Register(f Factory) {
 	if f.Name == "" {
 		panic("conform: factory with empty name")
 	}
-	for _, g := range registry {
+	for _, g := range factories {
 		if g.Name == f.Name {
 			panic("conform: duplicate factory " + f.Name)
 		}
@@ -125,12 +125,12 @@ func Register(f Factory) {
 	if f.Caps.Spatial && f.BuildSpatial == nil || !f.Caps.Spatial && f.Build1D == nil {
 		panic("conform: factory " + f.Name + " builder does not match Caps.Spatial")
 	}
-	registry = append(registry, f)
+	factories = append(factories, f)
 }
 
 // Factories returns all registered factories sorted by name.
 func Factories() []Factory {
-	out := append([]Factory(nil), registry...)
+	out := append([]Factory(nil), factories...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -159,7 +159,7 @@ func FactoriesSpatial() []Factory {
 
 // Lookup returns the named factory.
 func Lookup(name string) (Factory, error) {
-	for _, f := range registry {
+	for _, f := range factories {
 		if f.Name == name {
 			return f, nil
 		}

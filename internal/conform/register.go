@@ -3,14 +3,17 @@ package conform
 import (
 	lix "github.com/lix-go/lix"
 	"github.com/lix-go/lix/internal/core"
-	"github.com/lix-go/lix/internal/dataset"
-	"github.com/lix-go/lix/internal/rtree"
+	"github.com/lix-go/lix/internal/registry"
 )
 
-// This file registers every index constructor of the public façade with
-// the conformance registry. A new index opts in by adding one Register
-// call with its capability flags; the differential suite, the edge-case
-// corpus and the invariant sweep then cover it automatically.
+// This file derives the conformance factory set from the kind registry:
+// every kind registered by the façade (see the façade's register.go) is
+// enumerated and wrapped into a conformance factory with the matching
+// capability flags, so a new index opts into the differential suite, the
+// edge-case corpus and the invariant sweep by registering once with
+// internal/registry. A handful of façade constructors that are not
+// serving kinds (test-scale variants, the layered sharded
+// configurations) are registered explicitly at the bottom.
 
 // mutable1D registers a mutable 1-D factory whose builder starts empty and
 // is preloaded by per-record inserts (the path a live system exercises).
@@ -43,38 +46,96 @@ func static1D(name string, allowsEmpty bool, build func(recs []core.KV) (lix.Ind
 	})
 }
 
-func init() {
-	// Baselines.
-	static1D("sorted-array", true, func(recs []core.KV) (lix.Index, error) {
-		return lix.NewSortedArray(recs), nil
-	})
-	mutable1D("btree", func() lix.MutableIndex { return lix.NewBTree(0) })
-	mutable1D("skiplist", func() lix.MutableIndex { return lix.NewSkipList(42) })
-	mutable1D("skiplist-learned", func() lix.MutableIndex { return lix.NewLearnedSkipList(42, 0) })
+// conformNames maps registry kind names to historical conformance factory
+// names where they differ.
+var conformNames = map[string]string{"binary": "sorted-array"}
 
-	// Learned 1-D, static builders.
-	static1D("rmi", true, func(recs []core.KV) (lix.Index, error) {
-		return lix.NewRMI(recs, lix.RMIConfig{})
+// conformOverrides replaces a registry kind's empty constructor with
+// conformance-tuned parameters: seeds and capacities small enough that
+// 5k-op workloads exercise structural maintenance (retrains, merges,
+// buffer spills), not just the fast path.
+var conformOverrides = map[string]func() lix.MutableIndex{
+	"skiplist":         func() lix.MutableIndex { return lix.NewSkipList(42) },
+	"skiplist-learned": func() lix.MutableIndex { return lix.NewLearnedSkipList(42, 0) },
+	"pgm-dynamic":      func() lix.MutableIndex { return lix.NewDynamicPGM(0, 64) },
+}
+
+func register1DFromRegistry(k registry.Kind) {
+	name := k.Name
+	if rn, ok := conformNames[name]; ok {
+		name = rn
+	}
+	if k.New != nil {
+		mk := func() lix.MutableIndex {
+			ix, err := k.New()
+			if err != nil {
+				// Empty constructors of registered kinds do not fail; a kind
+				// whose constructor can fail must register explicitly.
+				panic("conform: kind " + k.Name + ": " + err.Error())
+			}
+			return ix
+		}
+		if ov, ok := conformOverrides[k.Name]; ok {
+			mk = ov
+		}
+		mutable1D(name, mk)
+		return
+	}
+	static1D(name, k.Caps.AllowsEmpty, func(recs []core.KV) (lix.Index, error) {
+		return k.Static(recs)
 	})
+}
+
+func registerSpatialFromRegistry(k registry.Kind) {
+	caps := Caps{
+		Mutable:     k.Caps.Mutable,
+		Spatial:     true,
+		KNN:         k.Caps.KNN,
+		AllowsEmpty: k.Caps.AllowsEmpty,
+		Dims:        k.Caps.Dims,
+	}
+	if k.SpatialNew != nil {
+		Register(Factory{
+			Name: k.Name,
+			Caps: caps,
+			BuildSpatial: func(pvs []core.PV) (SpatialIndex, error) {
+				ix, err := k.SpatialNew()
+				if err != nil {
+					return nil, err
+				}
+				for _, pv := range pvs {
+					if err := ix.Insert(pv.Point, pv.Value); err != nil {
+						return nil, err
+					}
+				}
+				return ix, nil
+			},
+		})
+		return
+	}
+	Register(Factory{
+		Name: k.Name,
+		Caps: caps,
+		BuildSpatial: func(pvs []core.PV) (SpatialIndex, error) {
+			return k.SpatialBulk(pvs)
+		},
+	})
+}
+
+func init() {
+	for _, k := range registry.Kinds() {
+		k := k
+		if k.Caps.Spatial {
+			registerSpatialFromRegistry(k)
+		} else {
+			register1DFromRegistry(k)
+		}
+	}
+
+	// Façade constructors that are not registry kinds.
 	static1D("rmi-hybrid", true, func(recs []core.KV) (lix.Index, error) {
 		return lix.NewHybridRMI(recs, lix.RMIConfig{}, 64)
 	})
-	static1D("pgm", true, func(recs []core.KV) (lix.Index, error) {
-		return lix.NewPGM(recs, 0)
-	})
-	static1D("radixspline", true, func(recs []core.KV) (lix.Index, error) {
-		return lix.NewRadixSpline(recs, 0, 0)
-	})
-	static1D("histtree", true, func(recs []core.KV) (lix.Index, error) {
-		return lix.NewHistTree(recs, 0, 0)
-	})
-
-	// Learned 1-D, updatable.
-	mutable1D("alex", func() lix.MutableIndex { return lix.NewALEX() })
-	mutable1D("lipp", func() lix.MutableIndex { return lix.NewLIPP() })
-	mutable1D("pgm-dynamic", func() lix.MutableIndex { return lix.NewDynamicPGM(0, 64) })
-	mutable1D("fiting", func() lix.MutableIndex { return lix.NewFITingTree(0, 0) })
-	mutable1D("learned-lsm", func() lix.MutableIndex { return lix.NewLearnedLSM(lix.LSMConfig{}) })
 	mutable1D("xindex", func() lix.MutableIndex {
 		// Small groups/deltas so 5k-op workloads exercise compaction and
 		// splits, not just the delta buffer.
@@ -99,140 +160,4 @@ func init() {
 			return lix.NewSharded(recs, lix.ShardedConfig{Shards: 4, Mode: lix.ShardRCU, DeltaCap: 32})
 		},
 	})
-}
-
-// mutableSpatial registers a mutable spatial factory preloaded by inserts.
-func mutableSpatial(name string, dims int, mk func() (lix.MutableSpatialIndex, error)) {
-	Register(Factory{
-		Name: name,
-		Caps: Caps{Mutable: true, Spatial: true, KNN: true, AllowsEmpty: true, Dims: dims},
-		BuildSpatial: func(pvs []core.PV) (SpatialIndex, error) {
-			ix, err := mk()
-			if err != nil {
-				return nil, err
-			}
-			for _, pv := range pvs {
-				if err := ix.Insert(pv.Point, pv.Value); err != nil {
-					return nil, err
-				}
-			}
-			return ix, nil
-		},
-	})
-}
-
-// staticSpatial registers a read-only spatial factory built over points.
-func staticSpatial(name string, knn bool, dims int, build func(pvs []core.PV) (lix.SpatialIndex, error)) {
-	Register(Factory{
-		Name: name,
-		Caps: Caps{Spatial: true, KNN: knn, Dims: dims},
-		BuildSpatial: func(pvs []core.PV) (SpatialIndex, error) {
-			ix, err := build(pvs)
-			if err != nil {
-				return nil, err
-			}
-			return ix, nil
-		},
-	})
-}
-
-// spatialBounds is the dataset extent convention shared with BuildSpatial.
-func spatialBounds(dim int) core.Rect {
-	min := make(core.Point, dim)
-	max := make(core.Point, dim)
-	for d := 0; d < dim; d++ {
-		max[d] = dataset.Extent
-	}
-	return core.Rect{Min: min, Max: max}
-}
-
-// learnedRTree adapts *rtree.Hybrid (Search/Stats only) to SpatialIndex.
-type learnedRTree struct {
-	*rtree.Hybrid
-	n int
-}
-
-func (h learnedRTree) Len() int { return h.n }
-
-func (h learnedRTree) Lookup(p core.Point) (core.Value, bool) {
-	var out core.Value
-	found := false
-	h.PointSearch(p, func(pv core.PV) bool {
-		out, found = pv.Value, true
-		return false
-	})
-	return out, found
-}
-
-func init() {
-	// Spatial baselines.
-	Register(Factory{
-		Name: "rtree",
-		Caps: Caps{Mutable: true, Spatial: true, KNN: true, AllowsEmpty: true},
-		BuildSpatial: func(pvs []core.PV) (SpatialIndex, error) {
-			ix := lix.NewRTree(0)
-			for _, pv := range pvs {
-				if err := ix.Insert(pv.Point, pv.Value); err != nil {
-					return nil, err
-				}
-			}
-			return ix, nil
-		},
-	})
-	staticSpatial("rtree-bulk", true, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
-		return lix.BulkRTree(0, pvs)
-	})
-	staticSpatial("kdtree", true, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
-		return lix.BulkKDTree(pvs)
-	})
-	mutableSpatial("quadtree", 2, func() (lix.MutableSpatialIndex, error) {
-		return lix.NewQuadtree(spatialBounds(2), 0)
-	})
-	mutableSpatial("grid", 2, func() (lix.MutableSpatialIndex, error) {
-		return lix.NewUniformGrid(spatialBounds(2), 32)
-	})
-
-	// Learned spatial.
-	staticSpatial("zm", true, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
-		return lix.NewZMIndex(pvs, lix.ZMConfig{})
-	})
-	staticSpatial("zm-hilbert", true, 2, func(pvs []core.PV) (lix.SpatialIndex, error) {
-		return lix.NewZMIndex(pvs, lix.ZMConfig{Curve: lix.CurveHilbert})
-	})
-	staticSpatial("mlindex", true, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
-		return lix.NewMLIndex(pvs, lix.MLIndexConfig{})
-	})
-	staticSpatial("flood", false, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
-		dim := 2
-		if len(pvs) > 0 {
-			dim = pvs[0].Point.Dim()
-		}
-		return lix.NewFlood(pvs, lix.FloodConfig{SortDim: dim - 1})
-	})
-	Register(Factory{
-		Name: "lisa",
-		Caps: Caps{Mutable: true, Spatial: true, KNN: true},
-		BuildSpatial: func(pvs []core.PV) (SpatialIndex, error) {
-			return lix.NewLISA(pvs, lix.LISAConfig{})
-		},
-	})
-	staticSpatial("qdtree", false, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
-		queries := dataset.RectQueries(points(pvs), 32, 0.001, 7)
-		return lix.NewQdTree(pvs, queries, lix.QdTreeConfig{})
-	})
-	staticSpatial("rtree-learned", false, 0, func(pvs []core.PV) (lix.SpatialIndex, error) {
-		h, err := lix.NewLearnedRTree(0, 0, pvs)
-		if err != nil {
-			return nil, err
-		}
-		return learnedRTree{Hybrid: h, n: len(pvs)}, nil
-	})
-}
-
-func points(pvs []core.PV) []core.Point {
-	out := make([]core.Point, len(pvs))
-	for i := range pvs {
-		out[i] = pvs[i].Point
-	}
-	return out
 }

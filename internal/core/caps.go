@@ -1,0 +1,130 @@
+package core
+
+// Optional capability interfaces. The layer stack (backend → shard →
+// durable → obs) composes through these instead of concrete-type checks:
+// each layer *detects* the capability of the index below it with a type
+// assertion and *exposes* the same capability above, so a batched or
+// parallel fast path survives any number of wrappers. The dispatch
+// helpers below fall back to generic per-record loops, which makes the
+// capabilities strictly optional: every index gets the batched surface,
+// capable indexes get it fast.
+//
+// BulkBuilder is the one capability that is not an instance method: being
+// bulk-buildable is a property of an index *kind* (its constructor), so
+// it lives in the kind registry (internal/registry, Kind.Bulk) rather
+// than here.
+
+// BatchLookuper resolves many keys in one call. vals[i], oks[i] answer
+// keys[i]; implementations may reorder internally (the sharded layer
+// groups by shard) but the result slices follow input order.
+type BatchLookuper interface {
+	LookupBatch(keys []Key) ([]Value, []bool)
+}
+
+// BatchInserter upserts many records in one call. Duplicate keys inside
+// one batch resolve later-wins, exactly as a sequential upsert loop
+// would (the conformance suite pins this).
+type BatchInserter interface {
+	InsertBatch(recs []KV)
+}
+
+// BatchDeleter removes many keys in one call, reporting per-key whether
+// the key was present, with sequential semantics: the first occurrence
+// of a duplicated key reports its liveness, later occurrences report
+// false.
+type BatchDeleter interface {
+	DeleteBatch(keys []Key) []bool
+}
+
+// RangeSearcher collects every record with lo <= key <= hi into a slice
+// in ascending key order. Implementations must return a non-nil slice
+// (empty result => empty slice), the façade-wide normalization.
+type RangeSearcher interface {
+	SearchRange(lo, hi Key) []KV
+}
+
+// The narrow read/write surfaces the generic fallbacks need. They are
+// subsets of every index interface in the repository, so any index value
+// converts implicitly.
+type (
+	// Getter is the point-read surface.
+	Getter interface {
+		Get(k Key) (Value, bool)
+	}
+	// Ranger is the ordered-scan surface.
+	Ranger interface {
+		Range(lo, hi Key, fn func(Key, Value) bool) int
+	}
+	// Inserter is the upsert surface.
+	Inserter interface {
+		Insert(k Key, v Value)
+	}
+	// Deleter is the delete surface.
+	Deleter interface {
+		Delete(k Key) bool
+	}
+)
+
+// LookupBatch resolves keys against ix through its BatchLookuper
+// capability when present, else a Get loop. vals[i], oks[i] answer
+// keys[i].
+func LookupBatch(ix Getter, keys []Key) ([]Value, []bool) {
+	if b, ok := ix.(BatchLookuper); ok {
+		return b.LookupBatch(keys)
+	}
+	vals := make([]Value, len(keys))
+	oks := make([]bool, len(keys))
+	for i, k := range keys {
+		vals[i], oks[i] = ix.Get(k)
+	}
+	return vals, oks
+}
+
+// InsertBatch upserts recs into ix through its BatchInserter capability
+// when present, else an Insert loop (which is trivially later-wins).
+func InsertBatch(ix Inserter, recs []KV) {
+	if b, ok := ix.(BatchInserter); ok {
+		b.InsertBatch(recs)
+		return
+	}
+	for _, r := range recs {
+		ix.Insert(r.Key, r.Value)
+	}
+}
+
+// DeleteBatch removes keys from ix through its BatchDeleter capability
+// when present, else a Delete loop. oks[i] reports whether keys[i] was
+// present when its turn came (duplicates: first wins, rest read false).
+func DeleteBatch(ix Deleter, keys []Key) []bool {
+	if b, ok := ix.(BatchDeleter); ok {
+		return b.DeleteBatch(keys)
+	}
+	oks := make([]bool, len(keys))
+	for i, k := range keys {
+		oks[i] = ix.Delete(k)
+	}
+	return oks
+}
+
+// CollectRange collects every record of ix with lo <= key <= hi in
+// ascending key order, through the RangeSearcher capability when present
+// (the sharded layer answers with its parallel cross-shard fan-out) else
+// a sequential Range scan. The result is always non-nil, and an inverted
+// interval yields an empty slice.
+func CollectRange(ix Ranger, lo, hi Key) []KV {
+	if rs, ok := ix.(RangeSearcher); ok {
+		if out := rs.SearchRange(lo, hi); out != nil {
+			return out
+		}
+		return []KV{}
+	}
+	out := []KV{}
+	if lo > hi {
+		return out
+	}
+	ix.Range(lo, hi, func(k Key, v Value) bool {
+		out = append(out, KV{Key: k, Value: v})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// mapIndex is a minimal index with no batch capabilities: every dispatch
+// helper must fall back to its per-record loop.
+type mapIndex struct {
+	m map[Key]Value
+}
+
+func newMapIndex() *mapIndex { return &mapIndex{m: map[Key]Value{}} }
+
+func (x *mapIndex) Get(k Key) (Value, bool) { v, ok := x.m[k]; return v, ok }
+func (x *mapIndex) Insert(k Key, v Value)   { x.m[k] = v }
+func (x *mapIndex) Delete(k Key) bool {
+	_, ok := x.m[k]
+	delete(x.m, k)
+	return ok
+}
+func (x *mapIndex) Range(lo, hi Key, fn func(Key, Value) bool) int {
+	keys := make([]Key, 0, len(x.m))
+	for k := range x.m {
+		if k >= lo && k <= hi {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	n := 0
+	for _, k := range keys {
+		n++
+		if !fn(k, x.m[k]) {
+			break
+		}
+	}
+	return n
+}
+
+// capIndex embeds mapIndex and adds native batch capabilities that
+// record whether they were used, so dispatch can be asserted.
+type capIndex struct {
+	*mapIndex
+	batched int
+}
+
+func (x *capIndex) LookupBatch(keys []Key) ([]Value, []bool) {
+	x.batched++
+	vals := make([]Value, len(keys))
+	oks := make([]bool, len(keys))
+	for i, k := range keys {
+		vals[i], oks[i] = x.Get(k)
+	}
+	return vals, oks
+}
+
+func (x *capIndex) InsertBatch(recs []KV) {
+	x.batched++
+	for _, r := range recs {
+		x.Insert(r.Key, r.Value)
+	}
+}
+
+func (x *capIndex) DeleteBatch(keys []Key) []bool {
+	x.batched++
+	oks := make([]bool, len(keys))
+	for i, k := range keys {
+		oks[i] = x.Delete(k)
+	}
+	return oks
+}
+
+func (x *capIndex) SearchRange(lo, hi Key) []KV {
+	x.batched++
+	// Deliberately return nil for empty results: CollectRange must
+	// normalize it to an empty slice.
+	var out []KV
+	x.Range(lo, hi, func(k Key, v Value) bool {
+		out = append(out, KV{Key: k, Value: v})
+		return true
+	})
+	return out
+}
+
+func TestBatchFallbacks(t *testing.T) {
+	ix := newMapIndex()
+	InsertBatch(ix, []KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}, {Key: 1, Value: 11}})
+	if v, ok := ix.Get(1); !ok || v != 11 {
+		t.Fatalf("later-wins fallback: Get(1) = (%d, %v), want (11, true)", v, ok)
+	}
+	vals, oks := LookupBatch(ix, []Key{1, 2, 3})
+	if !reflect.DeepEqual(vals, []Value{11, 20, 0}) || !reflect.DeepEqual(oks, []bool{true, true, false}) {
+		t.Fatalf("LookupBatch fallback = %v, %v", vals, oks)
+	}
+	got := CollectRange(ix, 0, ^Key(0))
+	want := []KV{{Key: 1, Value: 11}, {Key: 2, Value: 20}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CollectRange = %v, want %v", got, want)
+	}
+	if out := CollectRange(ix, 10, 5); out == nil || len(out) != 0 {
+		t.Fatalf("CollectRange inverted interval = %v, want non-nil empty", out)
+	}
+	dels := DeleteBatch(ix, []Key{2, 2, 9})
+	if !reflect.DeepEqual(dels, []bool{true, false, false}) {
+		t.Fatalf("DeleteBatch fallback = %v, want [true false false]", dels)
+	}
+}
+
+func TestBatchDispatch(t *testing.T) {
+	ix := &capIndex{mapIndex: newMapIndex()}
+	InsertBatch(ix, []KV{{Key: 5, Value: 50}})
+	LookupBatch(ix, []Key{5})
+	DeleteBatch(ix, []Key{5})
+	if out := CollectRange(ix, 0, ^Key(0)); out == nil || len(out) != 0 {
+		t.Fatalf("CollectRange did not normalize nil SearchRange result: %v", out)
+	}
+	if ix.batched != 4 {
+		t.Fatalf("native capabilities used %d times, want 4", ix.batched)
+	}
+}

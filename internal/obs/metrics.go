@@ -35,6 +35,15 @@ type Metrics struct {
 	// RangeLen is the result-cardinality histogram of Range scans.
 	RangeLen Histogram
 
+	// Batches counts batched operations (LookupBatch, InsertBatch,
+	// DeleteBatch calls — one increment per batch, not per record; the
+	// per-record work also lands in the operation counters above).
+	Batches Counter
+	// BatchNS is the whole-batch latency histogram in nanoseconds.
+	BatchNS Histogram
+	// BatchLen is the batch-cardinality histogram (records per batch).
+	BatchLen Histogram
+
 	// Probes and Window are the last-mile search histograms: probes per
 	// bounded search and error-window width searched.
 	Probes Histogram
@@ -181,12 +190,12 @@ type Snapshot struct {
 }
 
 // counterNames fixes the rendering order of the counter set.
-var counterNames = []string{"lookups", "hits", "inserts", "deletes", "ranges"}
+var counterNames = []string{"lookups", "hits", "inserts", "deletes", "ranges", "batches"}
 
 // histNames fixes the rendering order of the histogram set.
 var histNames = []string{
 	"get_ns", "insert_ns", "delete_ns", "range_ns",
-	"range_len", "search_probes", "search_window", "fsync_ns",
+	"range_len", "batch_ns", "batch_len", "search_probes", "search_window", "fsync_ns",
 }
 
 func (m *Metrics) counter(name string) *Counter {
@@ -201,6 +210,8 @@ func (m *Metrics) counter(name string) *Counter {
 		return &m.Deletes
 	case "ranges":
 		return &m.Ranges
+	case "batches":
+		return &m.Batches
 	}
 	return nil
 }
@@ -217,6 +228,10 @@ func (m *Metrics) histogram(name string) *Histogram {
 		return &m.RangeNS
 	case "range_len":
 		return &m.RangeLen
+	case "batch_ns":
+		return &m.BatchNS
+	case "batch_len":
+		return &m.BatchLen
 	case "search_probes":
 		return &m.Probes
 	case "search_window":

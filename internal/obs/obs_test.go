@@ -266,6 +266,8 @@ lix_inserts_total{index="t"} 0
 lix_deletes_total{index="t"} 0
 # TYPE lix_ranges_total counter
 lix_ranges_total{index="t"} 0
+# TYPE lix_batches_total counter
+lix_batches_total{index="t"} 0
 # TYPE lix_get_ns histogram
 lix_get_ns_bucket{index="t",le="0"} 0
 lix_get_ns_bucket{index="t",le="1"} 1
@@ -278,6 +280,8 @@ lix_get_ns_count{index="t"} 2
 		emptyHist("lix_delete_ns") +
 		emptyHist("lix_range_ns") +
 		emptyHist("lix_range_len") +
+		emptyHist("lix_batch_ns") +
+		emptyHist("lix_batch_len") +
 		emptyHist("lix_search_probes") +
 		emptyHist("lix_search_window") +
 		emptyHist("lix_fsync_ns") +

@@ -84,6 +84,38 @@ func (sh *rcuShard) delete(k core.Key) bool {
 	return true
 }
 
+// deleteBatch removes keys in one delta publication. oks[i] reports
+// whether keys[i] was live when its turn came: within the batch the first
+// occurrence of a duplicated key reports its liveness, later occurrences
+// report false — the sequential-loop semantics the conformance suite
+// pins.
+func (sh *rcuShard) deleteBatch(keys []core.Key) []bool {
+	oks := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return oks
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	seen := make(map[core.Key]bool, len(keys))
+	tombs := make([]deltaRec, 0, len(keys))
+	for i, k := range keys {
+		if seen[k] {
+			continue // a second delete of k in this batch reads false
+		}
+		seen[k] = true
+		if sh.present(k) {
+			oks[i] = true
+			tombs = append(tombs, deltaRec{key: k, del: true})
+		}
+	}
+	if len(tombs) == 0 {
+		return oks
+	}
+	sort.Slice(tombs, func(i, j int) bool { return tombs[i].key < tombs[j].key })
+	sh.applyLocked(tombs)
+	return oks
+}
+
 // applyLocked merges updates (sorted by key, distinct) into a new delta
 // and publishes it, then merges into a fresh snapshot if the delta
 // overflowed. Caller holds sh.mu.

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -575,4 +576,72 @@ func (s *Sharded) InsertBatch(recs []core.KV) {
 		}(si, idxs)
 	}
 	wg.Wait()
+}
+
+// DeleteBatch removes keys, grouping them by shard so each shard's write
+// lock is acquired once per batch. oks[i] reports whether keys[i] was
+// present, with sequential semantics: within one batch, the first
+// occurrence of a duplicated key reports its liveness and later
+// occurrences report false — exactly what a sequential Delete loop would
+// observe.
+func (s *Sharded) DeleteBatch(keys []core.Key) []bool {
+	oks := make([]bool, len(keys))
+	groups := s.shardGroups(keys)
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		wg.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			if s.mode == LockRW {
+				sh := s.rw[si]
+				sh.mu.Lock()
+				for _, i := range idxs {
+					oks[i] = sh.ix.Delete(keys[i])
+				}
+				sh.mu.Unlock()
+			} else {
+				group := make([]core.Key, len(idxs))
+				for j, i := range idxs {
+					group[j] = keys[i]
+				}
+				for j, ok := range s.rcu[si].deleteBatch(group) {
+					oks[idxs[j]] = ok
+				}
+			}
+			if s.mets != nil {
+				s.mets[si].Deletes.Add(uint64(len(idxs)))
+			}
+		}(si, idxs)
+	}
+	wg.Wait()
+	return oks
+}
+
+// Close forwards Close to every shard backend with the io.Closer
+// capability, returning the first error. Shard backends are in-memory
+// today, so this is usually a no-op, but the capability must survive the
+// wrapper for stacks built over closeable backends.
+func (s *Sharded) Close() error {
+	var first error
+	closeIx := func(ix Index) {
+		if c, ok := ix.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if s.mode == LockRW {
+		for _, sh := range s.rw {
+			sh.mu.Lock()
+			closeIx(sh.ix)
+			sh.mu.Unlock()
+		}
+		return first
+	}
+	for _, sh := range s.rcu {
+		sh.mu.Lock()
+		closeIx(sh.snap.Load().ix)
+		sh.mu.Unlock()
+	}
+	return first
 }

@@ -69,9 +69,13 @@ type Durable struct {
 	dir string
 	cfg Config
 
-	ix       MutableIndex
-	batch    BatchIndex // nil when the index has no batched surface
-	route    Router
+	ix MutableIndex
+	// Batch capabilities of the wrapped index, detected once at assemble;
+	// nil fields fall back to per-record loops.
+	batchLookup core.BatchLookuper
+	batchInsert core.BatchInserter
+	batchDelete core.BatchDeleter
+	route       Router
 	segments int
 	// concReads: the wrapped index tolerates reads concurrent with writes,
 	// so readers skip the per-segment lock.
@@ -326,7 +330,9 @@ func assemble(dir string, cfg Config, res BuildResult, meta map[string]string, g
 		ckptCh: make(chan struct{}, 1),
 		stop:   make(chan struct{}),
 	}
-	d.batch, _ = res.Index.(BatchIndex)
+	d.batchLookup, _ = res.Index.(core.BatchLookuper)
+	d.batchInsert, _ = res.Index.(core.BatchInserter)
+	d.batchDelete, _ = res.Index.(core.BatchDeleter)
 	if cfg.Metrics != nil {
 		d.hook.SetRecorder(cfg.Metrics)
 	}
@@ -573,11 +579,28 @@ func (d *Durable) Stats() core.Stats {
 	return st
 }
 
+// SearchRange collects every record with lo <= key <= hi in ascending
+// key order, forwarding the wrapped index's RangeSearcher capability (a
+// sharded backend answers with its parallel cross-shard fan-out). The
+// result is always non-nil.
+func (d *Durable) SearchRange(lo, hi core.Key) []core.KV {
+	if d.concReads {
+		return core.CollectRange(d.ix, lo, hi)
+	}
+	d.segMu[0].RLock()
+	defer d.segMu[0].RUnlock()
+	return core.CollectRange(d.ix, lo, hi)
+}
+
+// Unwrap returns the wrapped in-memory index (for capability probing and
+// diagnostics; mutating it directly bypasses the WAL).
+func (d *Durable) Unwrap() MutableIndex { return d.ix }
+
 // LookupBatch resolves keys in one pass, delegating to the wrapped
 // index's batched path when it has one.
 func (d *Durable) LookupBatch(keys []core.Key) ([]core.Value, []bool) {
-	if d.batch != nil && d.concReads {
-		return d.batch.LookupBatch(keys)
+	if d.batchLookup != nil && d.concReads {
+		return d.batchLookup.LookupBatch(keys)
 	}
 	vals := make([]core.Value, len(keys))
 	oks := make([]bool, len(keys))
@@ -692,8 +715,8 @@ func (d *Durable) InsertBatch(recs []core.KV) {
 			}
 			off, err := w.Append(wrecs...)
 			if err == nil {
-				if d.batch != nil {
-					d.batch.InsertBatch(group)
+				if d.batchInsert != nil {
+					d.batchInsert.InsertBatch(group)
 				} else {
 					for _, r := range group {
 						d.ix.Insert(r.Key, r.Value)
@@ -718,6 +741,71 @@ func (d *Durable) InsertBatch(recs []core.KV) {
 	}
 	d.stateMu.RUnlock()
 	d.bumpCheckpoint(len(recs))
+}
+
+// DeleteBatch durably removes keys with the same segment-grouped WAL
+// framing as InsertBatch: per touched segment one contiguous frame group,
+// one group-committed fsync under SyncAlways. oks[i] reports whether
+// keys[i] was present, with sequential (first-wins on duplicates)
+// semantics inside the batch.
+func (d *Durable) DeleteBatch(keys []core.Key) []bool {
+	oks := make([]bool, len(keys))
+	if len(keys) == 0 || d.Err() != nil {
+		return oks
+	}
+	d.stateMu.RLock()
+	groups := make(map[int][]int)
+	for i, k := range keys {
+		seg := d.seg(k)
+		groups[seg] = append(groups[seg], i)
+	}
+	var wg sync.WaitGroup
+	offs := make([]int64, d.segments)
+	for seg, idxs := range groups {
+		wg.Add(1)
+		go func(seg int, idxs []int) {
+			defer wg.Done()
+			w := d.wals[seg]
+			d.segMu[seg].Lock()
+			wrecs := make([]Record, len(idxs))
+			for j, i := range idxs {
+				wrecs[j] = Record{Seq: d.seq.Add(1), Op: OpDelete, Key: keys[i]}
+			}
+			off, err := w.Append(wrecs...)
+			if err == nil {
+				if d.batchDelete != nil {
+					group := make([]core.Key, len(idxs))
+					for j, i := range idxs {
+						group[j] = keys[i]
+					}
+					for j, ok := range d.batchDelete.DeleteBatch(group) {
+						oks[idxs[j]] = ok
+					}
+				} else {
+					for _, i := range idxs {
+						oks[i] = d.ix.Delete(keys[i])
+					}
+				}
+				offs[seg] = off
+			} else {
+				d.fail(err)
+			}
+			d.segMu[seg].Unlock()
+		}(seg, idxs)
+	}
+	wg.Wait()
+	if d.cfg.Fsync == SyncAlways {
+		for seg := range groups {
+			if offs[seg] > 0 {
+				if err := d.wals[seg].SyncTo(offs[seg]); err != nil {
+					d.fail(err)
+				}
+			}
+		}
+	}
+	d.stateMu.RUnlock()
+	d.bumpCheckpoint(len(keys))
+	return oks
 }
 
 func (d *Durable) bumpCheckpoint(n int) {

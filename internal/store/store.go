@@ -124,13 +124,6 @@ type MutableIndex interface {
 	Delete(k core.Key) bool
 }
 
-// BatchIndex is the optional batched surface (the sharded serving layer
-// provides it); Durable passes batches through when present.
-type BatchIndex interface {
-	LookupBatch(keys []core.Key) ([]core.Value, []bool)
-	InsertBatch(recs []core.KV)
-}
-
 // Router maps a key to its WAL segment. While a generation is live the
 // routing must be stable (the same key always lands in the same segment)
 // so that per-key operation order survives the per-segment merge.

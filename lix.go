@@ -27,6 +27,7 @@ import (
 	"github.com/lix-go/lix/internal/lsm"
 	"github.com/lix-go/lix/internal/pgm"
 	"github.com/lix-go/lix/internal/radixspline"
+	"github.com/lix-go/lix/internal/registry"
 	"github.com/lix-go/lix/internal/rmi"
 	"github.com/lix-go/lix/internal/skiplist"
 	"github.com/lix-go/lix/internal/xindex"
@@ -283,75 +284,36 @@ func BulkXIndex(recs []KV, groupSize, deltaCap int) (*XIndex, error) {
 }
 
 // ---------------------------------------------------------------------------
-// Registry (used by the benchmark harness and the CLI)
+// Kind registry shims (see register.go and internal/registry)
 // ---------------------------------------------------------------------------
 
 // Static1DKinds lists the read-only 1-D index names accepted by Build1D.
-func Static1DKinds() []string {
-	return []string{"binary", "btree", "btree-interp", "rmi", "pgm", "radixspline", "histtree", "alex", "lipp"}
-}
+func Static1DKinds() []string { return registry.StaticKinds() }
 
 // Mutable1DKinds lists the updatable 1-D index names accepted by
 // BuildMutable1D.
-func Mutable1DKinds() []string {
-	return []string{"btree", "skiplist", "skiplist-learned", "alex", "lipp", "pgm-dynamic", "fiting", "learned-lsm"}
-}
+func Mutable1DKinds() []string { return registry.MutableKinds() }
 
 // Build1D builds a read-only 1-D index of the named kind over sorted recs.
+//
+// Deprecated: thin shim over the kind registry; resolve kinds through
+// NewStack or internal/registry instead.
 func Build1D(kind string, recs []KV) (Index, error) {
-	switch kind {
-	case "binary":
-		return NewSortedArray(recs), nil
-	case "btree":
-		return BulkBTree(0, recs)
-	case "btree-interp":
-		t, err := btree.Bulk(btree.DefaultOrder, recs)
-		if err != nil {
-			return nil, err
-		}
-		t.SetInterpolation(true)
-		return btreeAdapter{t}, nil
-	case "rmi":
-		return NewRMI(recs, RMIConfig{})
-	case "pgm":
-		return NewPGM(recs, 0)
-	case "radixspline":
-		return NewRadixSpline(recs, 0, 0)
-	case "histtree":
-		return NewHistTree(recs, 0, 0)
-	case "alex":
-		return BulkALEX(recs)
-	case "lipp":
-		return BulkLIPP(recs)
-	default:
-		return nil, errUnknownKind(kind)
+	k, err := registry.Static(kind)
+	if err != nil {
+		return nil, err
 	}
+	return k.Static(recs)
 }
 
 // BuildMutable1D returns an empty updatable 1-D index of the named kind.
+//
+// Deprecated: thin shim over the kind registry; resolve kinds through
+// NewStack or internal/registry instead.
 func BuildMutable1D(kind string) (MutableIndex, error) {
-	switch kind {
-	case "btree":
-		return NewBTree(0), nil
-	case "skiplist":
-		return NewSkipList(1), nil
-	case "skiplist-learned":
-		return NewLearnedSkipList(1, 0), nil
-	case "alex":
-		return NewALEX(), nil
-	case "lipp":
-		return NewLIPP(), nil
-	case "pgm-dynamic":
-		return NewDynamicPGM(0, 0), nil
-	case "fiting":
-		return NewFITingTree(0, 0), nil
-	case "learned-lsm":
-		return NewLearnedLSM(LSMConfig{}), nil
-	default:
-		return nil, errUnknownKind(kind)
+	k, err := registry.Mutable(kind)
+	if err != nil {
+		return nil, err
 	}
+	return k.New()
 }
-
-type errUnknownKind string
-
-func (e errUnknownKind) Error() string { return "lix: unknown index kind " + string(e) }

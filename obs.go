@@ -109,6 +109,46 @@ func (o *ObservedIndex) Range(lo, hi Key, fn func(Key, Value) bool) int {
 	return n
 }
 
+// SearchRange collects [lo, hi] through the wrapped index's RangeSearcher
+// capability (so a wrapped Sharded keeps its parallel cross-shard
+// fan-out), recording latency and result cardinality.
+func (o *ObservedIndex) SearchRange(lo, hi Key) []KV {
+	start := time.Now()
+	out := core.CollectRange(o.idx, lo, hi)
+	o.m.RangeNS.Observe(uint64(time.Since(start)))
+	o.m.RangeLen.Observe(uint64(len(out)))
+	o.m.Ranges.Inc()
+	return out
+}
+
+// LookupBatch resolves keys through the wrapped index's batched path when
+// it has one, recording whole-batch latency and cardinality alongside the
+// per-record lookup counters.
+func (o *ObservedIndex) LookupBatch(keys []Key) ([]Value, []bool) {
+	start := time.Now()
+	vals, oks := core.LookupBatch(o.idx, keys)
+	o.m.BatchNS.Observe(uint64(time.Since(start)))
+	o.m.BatchLen.Observe(uint64(len(keys)))
+	o.m.Batches.Inc()
+	o.m.Lookups.Add(uint64(len(keys)))
+	for _, ok := range oks {
+		if ok {
+			o.m.Hits.Inc()
+		}
+	}
+	return vals, oks
+}
+
+// Close forwards the io.Closer capability, so a wrapped Durable can be
+// closed without unwrapping. Indexes without the capability close as a
+// no-op.
+func (o *ObservedIndex) Close() error {
+	if c, ok := o.idx.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // Len returns the number of records (not recorded).
 func (o *ObservedIndex) Len() int { return o.idx.Len() }
 
@@ -149,6 +189,29 @@ func (o *ObservedMutableIndex) Delete(k Key) bool {
 	o.m.DeleteNS.Observe(uint64(time.Since(start)))
 	o.m.Deletes.Inc()
 	return ok
+}
+
+// InsertBatch upserts recs through the wrapped index's batched path when
+// it has one, recording whole-batch latency and cardinality.
+func (o *ObservedMutableIndex) InsertBatch(recs []KV) {
+	start := time.Now()
+	core.InsertBatch(o.mut, recs)
+	o.m.BatchNS.Observe(uint64(time.Since(start)))
+	o.m.BatchLen.Observe(uint64(len(recs)))
+	o.m.Batches.Inc()
+	o.m.Inserts.Add(uint64(len(recs)))
+}
+
+// DeleteBatch removes keys through the wrapped index's batched path when
+// it has one, recording whole-batch latency and cardinality.
+func (o *ObservedMutableIndex) DeleteBatch(keys []Key) []bool {
+	start := time.Now()
+	oks := core.DeleteBatch(o.mut, keys)
+	o.m.BatchNS.Observe(uint64(time.Since(start)))
+	o.m.BatchLen.Observe(uint64(len(keys)))
+	o.m.Batches.Inc()
+	o.m.Deletes.Add(uint64(len(keys)))
+	return oks
 }
 
 // WriteMetricsPrometheus renders the given bundles in Prometheus text

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/registry"
 	"github.com/lix-go/lix/internal/shard"
 )
 
@@ -62,26 +63,24 @@ func NewSharded(recs []KV, cfg ShardedConfig) (*Sharded, error) {
 	b := shard.Builders{}
 	switch cfg.Mode {
 	case ShardRW:
-		kind := cfg.Backend
-		if _, err := BuildMutable1D(kind); err != nil {
+		k, err := registry.Mutable(cfg.Backend)
+		if err != nil {
 			return nil, err
 		}
-		b.New = func() (shard.MutableIndex, error) { return BuildMutable1D(kind) }
-		switch kind {
-		// Kinds with a faster bulk path than an insert loop.
-		case "btree":
-			b.Bulk = func(recs []core.KV) (shard.MutableIndex, error) { return BulkBTree(0, recs) }
-		case "alex":
-			b.Bulk = func(recs []core.KV) (shard.MutableIndex, error) { return BulkALEX(recs) }
-		case "lipp":
-			b.Bulk = func(recs []core.KV) (shard.MutableIndex, error) { return BulkLIPP(recs) }
+		b.New = func() (shard.MutableIndex, error) { return k.New() }
+		if k.Bulk != nil {
+			// The kind has a bulk path faster than an insert loop.
+			b.Bulk = func(recs []core.KV) (shard.MutableIndex, error) { return k.Bulk(recs) }
 		}
 	case ShardRCU:
-		kind := cfg.Snapshot
-		if _, err := Build1D(kind, nil); err != nil {
-			return nil, fmt.Errorf("lix: sharded snapshot kind %q must build empty: %w", kind, err)
+		k, err := registry.Static(cfg.Snapshot)
+		if err != nil {
+			return nil, err
 		}
-		b.Static = func(recs []core.KV) (shard.Index, error) { return Build1D(kind, recs) }
+		if !k.Caps.AllowsEmpty {
+			return nil, fmt.Errorf("lix: sharded snapshot kind %q must build empty", cfg.Snapshot)
+		}
+		b.Static = func(recs []core.KV) (shard.Index, error) { return k.Static(recs) }
 	default:
 		return nil, fmt.Errorf("lix: unknown shard mode %v", cfg.Mode)
 	}
@@ -97,19 +96,10 @@ func NewSharded(recs []KV, cfg ShardedConfig) (*Sharded, error) {
 // slice, in ascending key order. The result is always non-nil: before this
 // helper, collecting a range out of an empty index returned nil from some
 // implementations and an empty slice from others, and callers comparing
-// against empty slices diverged. A *Sharded index answers through its
-// parallel cross-shard fan-out; everything else scans through Range.
+// against empty slices diverged. Dispatch is capability-driven: any index
+// exposing the RangeSearcher capability (a Sharded's parallel cross-shard
+// fan-out, or any wrapper forwarding it — obs, durable, Stack) answers
+// through it; everything else scans through Range.
 func SearchRange(ix Index, lo, hi Key) []KV {
-	if s, ok := ix.(*Sharded); ok {
-		return s.SearchRange(lo, hi)
-	}
-	out := []KV{}
-	if lo > hi {
-		return out
-	}
-	ix.Range(lo, hi, func(k Key, v Value) bool {
-		out = append(out, KV{Key: k, Value: v})
-		return true
-	})
-	return out
+	return core.CollectRange(ix, lo, hi)
 }

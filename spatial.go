@@ -1,6 +1,8 @@
 package lix
 
 import (
+	"fmt"
+
 	"github.com/lix-go/lix/internal/core"
 	"github.com/lix-go/lix/internal/flood"
 	"github.com/lix-go/lix/internal/grid"
@@ -315,7 +317,7 @@ func BuildSpatial(kind string, pvs []PV) (SpatialIndex, error) {
 	case "lisa":
 		return NewLISA(pvs, LISAConfig{})
 	default:
-		return nil, errUnknownKind(kind)
+		return nil, fmt.Errorf("lix: unknown spatial index kind %q", kind)
 	}
 }
 

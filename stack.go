@@ -1,0 +1,210 @@
+package lix
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/registry"
+)
+
+// StackConfig configures NewStack, the one-call engine constructor. Zero
+// values select the canonical defaults: a single unsharded, non-durable,
+// unobserved "btree" backend.
+type StackConfig struct {
+	// Kind is the backend index kind, one of Mutable1DKinds ("" selects
+	// "btree"). With Shards > 0 it is the per-shard backend (ShardRW) and
+	// with Dir set it is the recovered kind.
+	Kind string
+	// Shards, when positive, inserts the sharded concurrent serving layer.
+	// With Dir set this also gives the WAL one segment per shard (parallel
+	// group commit and recovery).
+	Shards int
+	// Mode selects the shard concurrency scheme (default ShardRW; only
+	// meaningful with Shards > 0). ShardRCU cannot be combined with Dir.
+	Mode ShardMode
+	// Snapshot is the per-shard read-optimized kind for ShardRCU mode
+	// ("" selects "pgm").
+	Snapshot string
+	// DeltaCap is the RCU delta size that triggers a snapshot merge
+	// (0 selects the shard package default).
+	DeltaCap int
+	// Dir, when non-empty, inserts the durable layer: the stack is opened
+	// at (or created in) this directory with write-ahead logging and
+	// snapshot checkpoints.
+	Dir string
+	// Fsync selects WAL durability (default FsyncAlways; Dir only).
+	Fsync SyncPolicy
+	// SyncInterval is the background flush cadence under FsyncInterval
+	// (Dir only; 0 selects the store default).
+	SyncInterval time.Duration
+	// CheckpointEvery triggers a checkpoint after this many logged records
+	// (Dir only; 0 selects the store default, negative disables).
+	CheckpointEvery int
+	// Metrics, when set, wraps the stack in the observability layer: per-op
+	// and per-batch latencies, counters, and (with Dir) fsync/checkpoint
+	// events all record into this bundle.
+	Metrics *Metrics
+	// ShardMetricsPrefix, when non-empty, additionally attaches one metrics
+	// bundle per shard (non-durable stacks only; retrieve them through
+	// Sharded().ShardMetrics()).
+	ShardMetricsPrefix string
+}
+
+// Stack is a fully assembled serving engine: backend → shard → durable →
+// obs, composed in the one canonical order by NewStack. It satisfies
+// MutableIndex plus every batch capability (LookupBatch, InsertBatch,
+// DeleteBatch, SearchRange, io.Closer), each dispatching through the
+// layers' own capabilities so batched and parallel fast paths survive the
+// whole stack.
+type Stack struct {
+	top     MutableIndex
+	durable *Durable
+	sharded *Sharded
+	metrics *Metrics
+}
+
+// NewStack assembles a serving stack over recs (sorted ascending,
+// distinct keys; may be nil to start empty) in the canonical wrapping
+// order. With Dir set, a fresh directory is seeded with recs (and the
+// seed checkpointed); a directory already holding a store recovers it —
+// in that case recs must be nil and the stored kind/shard configuration
+// wins, exactly as Open.
+func NewStack(recs []KV, cfg StackConfig) (*Stack, error) {
+	if cfg.Kind == "" {
+		cfg.Kind = "btree"
+	}
+	if _, err := registry.Mutable(cfg.Kind); err != nil {
+		return nil, err
+	}
+	s := &Stack{metrics: cfg.Metrics}
+
+	var inner MutableIndex
+	switch {
+	case cfg.Dir != "":
+		if cfg.Mode == ShardRCU {
+			return nil, fmt.Errorf("lix: durable stack requires ShardRW shards (RCU snapshots are rebuilt, not logged)")
+		}
+		opts := DurableOptions{
+			Kind:            cfg.Kind,
+			Shards:          cfg.Shards,
+			Fsync:           cfg.Fsync,
+			SyncInterval:    cfg.SyncInterval,
+			CheckpointEvery: cfg.CheckpointEvery,
+			Metrics:         cfg.Metrics,
+		}
+		var (
+			d   *Durable
+			err error
+		)
+		if recs != nil {
+			d, err = NewDurable(cfg.Dir, recs, opts)
+		} else {
+			d, err = Open(cfg.Dir, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.durable = d
+		s.sharded, _ = d.Unwrap().(*Sharded)
+		inner = d
+	case cfg.Shards > 0:
+		sh, err := NewSharded(recs, ShardedConfig{
+			Shards:        cfg.Shards,
+			Mode:          cfg.Mode,
+			Backend:       cfg.Kind,
+			Snapshot:      cfg.Snapshot,
+			DeltaCap:      cfg.DeltaCap,
+			MetricsPrefix: cfg.ShardMetricsPrefix,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.sharded = sh
+		inner = sh
+	default:
+		ix, err := registry.BuildMutable(cfg.Kind, recs)
+		if err != nil {
+			return nil, err
+		}
+		inner = ix
+	}
+
+	if cfg.Metrics != nil {
+		s.top = ObserveMutable(inner, cfg.Metrics)
+	} else {
+		s.top = inner
+	}
+	return s, nil
+}
+
+// Get returns the value stored for k.
+func (s *Stack) Get(k Key) (Value, bool) { return s.top.Get(k) }
+
+// Range calls fn for every record with lo <= key <= hi in ascending
+// order; fn returning false stops the scan.
+func (s *Stack) Range(lo, hi Key, fn func(Key, Value) bool) int {
+	return s.top.Range(lo, hi, fn)
+}
+
+// Len returns the number of records.
+func (s *Stack) Len() int { return s.top.Len() }
+
+// Stats reports the stack's structure statistics.
+func (s *Stack) Stats() Stats { return s.top.Stats() }
+
+// Insert upserts (k, v).
+func (s *Stack) Insert(k Key, v Value) { s.top.Insert(k, v) }
+
+// Delete removes k, reporting whether it was present.
+func (s *Stack) Delete(k Key) bool { return s.top.Delete(k) }
+
+// LookupBatch resolves keys in one pass through the layers' batch
+// capabilities. vals[i], oks[i] answer keys[i].
+func (s *Stack) LookupBatch(keys []Key) ([]Value, []bool) {
+	return core.LookupBatch(s.top, keys)
+}
+
+// InsertBatch upserts recs in one pass: one WAL frame group and one group
+// commit per touched segment when the stack is durable, one lock
+// acquisition per touched shard when it is sharded. Duplicate keys inside
+// one batch resolve later-wins.
+func (s *Stack) InsertBatch(recs []KV) { core.InsertBatch(s.top, recs) }
+
+// DeleteBatch removes keys in one pass (same batching as InsertBatch).
+// oks[i] reports whether keys[i] was present, with sequential semantics
+// on duplicates.
+func (s *Stack) DeleteBatch(keys []Key) []bool { return core.DeleteBatch(s.top, keys) }
+
+// SearchRange collects every record with lo <= key <= hi in ascending key
+// order (a sharded stack fans the scan out across shards in parallel).
+// The result is always non-nil.
+func (s *Stack) SearchRange(lo, hi Key) []KV { return core.CollectRange(s.top, lo, hi) }
+
+// Close flushes and closes the durable layer (when present) through the
+// stack's io.Closer forwarding; a purely in-memory stack closes as a
+// no-op.
+func (s *Stack) Close() error {
+	if c, ok := s.top.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// CheckInvariants runs the stack's structural self-checks.
+func (s *Stack) CheckInvariants() error { return CheckInvariants(s.top) }
+
+// Durable returns the durable layer, nil for in-memory stacks.
+func (s *Stack) Durable() *Durable { return s.durable }
+
+// Sharded returns the shard layer, nil for unsharded stacks.
+func (s *Stack) Sharded() *Sharded { return s.sharded }
+
+// Metrics returns the metrics bundle the stack records into, nil unless
+// StackConfig.Metrics was set.
+func (s *Stack) Metrics() *Metrics { return s.metrics }
+
+// Unwrap returns the outermost wrapped layer (the obs wrapper's target
+// when metrics are attached, else the top layer itself).
+func (s *Stack) Unwrap() MutableIndex { return s.top }

@@ -1,0 +1,159 @@
+package lix
+
+import (
+	"reflect"
+	"testing"
+)
+
+func stackRecs(n int) []KV {
+	recs := make([]KV, n)
+	for i := range recs {
+		recs[i] = KV{Key: Key(i * 3), Value: Value(i)}
+	}
+	return recs
+}
+
+func TestStackPlain(t *testing.T) {
+	s, err := NewStack(stackRecs(100), StackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Sharded() != nil || s.Durable() != nil || s.Metrics() != nil {
+		t.Fatal("plain stack grew unexpected layers")
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	if v, ok := s.Get(30); !ok || v != 10 {
+		t.Fatalf("Get(30) = (%d, %v), want (10, true)", v, ok)
+	}
+	s.InsertBatch([]KV{{Key: 1, Value: 100}, {Key: 1, Value: 101}})
+	if v, ok := s.Get(1); !ok || v != 101 {
+		t.Fatalf("later-wins InsertBatch: Get(1) = (%d, %v), want (101, true)", v, ok)
+	}
+	if oks := s.DeleteBatch([]Key{1, 1}); !reflect.DeepEqual(oks, []bool{true, false}) {
+		t.Fatalf("DeleteBatch dups = %v, want [true false]", oks)
+	}
+	if out := s.SearchRange(10, 5); out == nil || len(out) != 0 {
+		t.Fatalf("inverted SearchRange = %v, want non-nil empty", out)
+	}
+}
+
+func TestStackShardedAndObserved(t *testing.T) {
+	m := NewMetrics("stack")
+	s, err := NewStack(stackRecs(1000), StackConfig{Kind: "btree", Shards: 4, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Sharded() == nil {
+		t.Fatal("Sharded() = nil for a sharded stack")
+	}
+	if s.Metrics() != m {
+		t.Fatal("Metrics() did not round-trip")
+	}
+	keys := make([]Key, 200)
+	for i := range keys {
+		keys[i] = Key(i * 3)
+	}
+	vals, oks := s.LookupBatch(keys)
+	for i := range keys {
+		if !oks[i] || vals[i] != Value(i) {
+			t.Fatalf("LookupBatch[%d] = (%d, %v), want (%d, true)", i, vals[i], oks[i], i)
+		}
+	}
+	got := s.SearchRange(0, 60)
+	if len(got) != 21 {
+		t.Fatalf("SearchRange(0, 60) returned %d records, want 21", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key >= got[i].Key {
+			t.Fatalf("SearchRange out of order at %d: %v", i, got)
+		}
+	}
+	snap := m.Snapshot()
+	if snap.Counters["batches"] == 0 {
+		t.Fatal("obs layer did not count the batch")
+	}
+	if snap.Counters["lookups"] < 200 {
+		t.Fatalf("lookups = %d, want >= 200", snap.Counters["lookups"])
+	}
+	if snap.Counters["ranges"] == 0 {
+		t.Fatal("obs layer did not count SearchRange")
+	}
+}
+
+func TestStackDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := NewMetrics("stack-durable")
+	s, err := NewStack(stackRecs(500), StackConfig{
+		Dir: dir, Shards: 2, Fsync: FsyncNever, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Durable() == nil || s.Sharded() == nil {
+		t.Fatal("durable sharded stack missing a layer accessor")
+	}
+	s.InsertBatch([]KV{{Key: 7, Value: 70}, {Key: 11, Value: 110}})
+	if oks := s.DeleteBatch([]Key{7}); !oks[0] {
+		t.Fatal("DeleteBatch(7) = false, want true")
+	}
+	// Close through the obs wrapper's io.Closer forwarding — no unwrapping.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewStack(nil, StackConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Sharded() == nil {
+		t.Fatal("reopened stack lost its shard layer (meta shards not recovered)")
+	}
+	if _, ok := r.Get(7); ok {
+		t.Fatal("deleted key 7 survived recovery")
+	}
+	if v, ok := r.Get(11); !ok || v != 110 {
+		t.Fatalf("Get(11) after reopen = (%d, %v), want (110, true)", v, ok)
+	}
+	if r.Len() != 501 {
+		t.Fatalf("Len after reopen = %d, want 501", r.Len())
+	}
+}
+
+func TestStackConfigErrors(t *testing.T) {
+	if _, err := NewStack(nil, StackConfig{Kind: "no-such-kind"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := NewStack(nil, StackConfig{Kind: "rmi"}); err == nil {
+		t.Fatal("static-only kind accepted as stack backend")
+	}
+	if _, err := NewStack(nil, StackConfig{Dir: t.TempDir(), Mode: ShardRCU, Shards: 2}); err == nil {
+		t.Fatal("durable RCU stack accepted")
+	}
+}
+
+// TestSearchRangeThroughWrappers pins the satellite fix: SearchRange
+// dispatches on the RangeSearcher capability, so a Sharded keeps its
+// parallel fan-out behind the obs wrapper instead of degrading to a
+// sequential scan — and the results stay identical either way.
+func TestSearchRangeThroughWrappers(t *testing.T) {
+	recs := stackRecs(800)
+	sh, err := NewSharded(recs, ShardedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := Observe(sh, NewMetrics("wrapped"))
+	direct := sh.SearchRange(100, 2000)
+	viaWrapper := SearchRange(wrapped, 100, 2000)
+	if !reflect.DeepEqual(direct, viaWrapper) {
+		t.Fatalf("SearchRange through obs wrapper diverged: %d vs %d records",
+			len(direct), len(viaWrapper))
+	}
+	if len(direct) == 0 {
+		t.Fatal("empty fan-out result")
+	}
+}
