@@ -83,6 +83,11 @@ func main() {
 		fsync   = flag.String("fsync", "all", "durability mode: fsync policy to measure (always|interval|never|all)")
 
 		batch = flag.String("batch", "", "batch mode: comma-separated batch sizes, e.g. '16,256,1024'")
+
+		serveAddr = flag.String("serve-addr", "", "loadgen mode: drive a running lixserve at this address")
+		pipeline  = flag.Int("pipeline", 32, "loadgen mode: requests per pipelined group")
+		targetQPS = flag.Float64("target-qps", 0, "loadgen mode: open-loop aggregate request rate (0 = closed loop)")
+		duration  = flag.Duration("duration", 5*time.Second, "loadgen mode: measured send window")
 	)
 	flag.Parse()
 	if *list {
@@ -91,6 +96,10 @@ func main() {
 	}
 	if *compare != "" {
 		compareBenchFiles(*compare)
+		return
+	}
+	if *serveAddr != "" {
+		runLoadgen(*serveAddr, *pipeline, *targetQPS, *duration, *concurrency, *n, *seed, *quick, *rev, *benchOut)
 		return
 	}
 	if *batch != "" {
@@ -304,6 +313,59 @@ func runBatch(sizeSpec string, shards, n, q int, seed int64, quick bool, rev, ou
 	}
 
 	tables, results, err := bench.RunBatch(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	if outDir != "" {
+		path := filepath.Join(outDir, "BENCH_"+rev+".json")
+		f := bench.BenchFile{Rev: rev}
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &f); err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+		}
+		f.Rev = rev
+		f.Results = append(f.Results, results...)
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// runLoadgen executes the wire-protocol load generator (lixbench
+// -serve-addr host:port) against a running lixserve: pipelined 95/5
+// GET/SET groups over -concurrency connections, open-loop paced under
+// -target-qps, per-request latency percentiles read from the client-side
+// obs histogram. With -bench-out the serve/... results merge into an
+// existing BENCH_<rev>.json like the batch mode does.
+func runLoadgen(addr string, pipeline int, qps float64, dur time.Duration,
+	conns, keys int, seed int64, quick bool, rev, outDir string) {
+
+	cfg := bench.DefaultLoadgenConfig()
+	cfg.Addr = addr
+	cfg.Pipeline = pipeline
+	cfg.TargetQPS = qps
+	cfg.Duration = dur
+	cfg.Seed = seed
+	if quick {
+		cfg.Duration = 2 * time.Second
+	}
+	if conns > 0 {
+		cfg.Conns = conns
+	}
+	if keys > 0 {
+		cfg.Keys = keys
+	}
+
+	tables, _, results, err := bench.RunLoadgen(cfg)
 	if err != nil {
 		fatal(err)
 	}

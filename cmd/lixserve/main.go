@@ -1,0 +1,128 @@
+// lixserve serves a lix stack over TCP.
+//
+// It assembles a NewStack engine (backend kind, optional sharding,
+// optional durability) behind the pipelined wire protocol of DESIGN.md
+// §7: length-prefixed binary frames carrying GET/SET/DEL/MGET/MSET/SCAN,
+// with pipelined bursts coalesced into single batch calls — one shard
+// fan-out per read burst, one WAL frame group per write burst.
+//
+//	lixserve -addr :7070 -e pgm -shards 8 -n 1000000
+//	lixserve -addr :7070 -dir /var/lib/lix -fsync always
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
+// pipelined groups complete and flush, then connections and the stack
+// close. With -metrics-out the final metrics snapshot is written in
+// Prometheus text format on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	lix "github.com/lix-go/lix"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7070", "listen address")
+		engine     = flag.String("e", "btree", "backend index kind (see lixtaxonomy)")
+		shards     = flag.Int("shards", 0, "shard count (0 = unsharded)")
+		dir        = flag.String("dir", "", "durable directory (empty = in-memory)")
+		fsyncMode  = flag.String("fsync", "always", "WAL durability: always|interval|never (with -dir)")
+		n          = flag.Int("n", 0, "preload n synthetic records (ignored when -dir has data)")
+		seed       = flag.Int64("seed", 42, "preload key seed")
+		maxConns   = flag.Int("max-conns", 0, "connection limit (0 = default)")
+		maxFrame   = flag.Int("max-frame", 0, "max frame bytes (0 = default 1MiB)")
+		drainWait  = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget")
+		metricsOut = flag.String("metrics-out", "", "write a Prometheus metrics snapshot here on exit")
+		quiet      = flag.Bool("q", false, "suppress startup/shutdown log lines")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...interface{}) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "lixserve: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	fsync, err := lix.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var recs []lix.KV
+	if *n > 0 && *dir == "" {
+		recs = make([]lix.KV, *n)
+		r := rand.New(rand.NewSource(*seed))
+		cur := lix.Key(0)
+		for i := range recs {
+			cur += lix.Key(r.Intn(16) + 1)
+			recs[i] = lix.KV{Key: cur, Value: lix.Value(i)}
+		}
+	}
+
+	metrics := lix.NewMetrics("lixserve")
+	stack, err := lix.NewStack(recs, lix.StackConfig{
+		Kind:    *engine,
+		Shards:  *shards,
+		Dir:     *dir,
+		Fsync:   fsync,
+		Metrics: metrics,
+	})
+	if err != nil {
+		fail("stack: %v", err)
+	}
+
+	srv := lix.NewServer(stack, lix.ServeConfig{
+		Addr:         *addr,
+		MaxConns:     *maxConns,
+		MaxFrame:     *maxFrame,
+		DrainTimeout: *drainWait,
+		Metrics:      metrics,
+		CloseStore:   true,
+	})
+	if err := srv.Start(); err != nil {
+		fail("listen: %v", err)
+	}
+	logf("lixserve: serving %s (kind=%s shards=%d durable=%v) on %s",
+		plural(stack.Len(), "record"), *engine, *shards, *dir != "", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	logf("lixserve: %s, draining...", s)
+	if err := srv.Shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "lixserve: drain: %v\n", err)
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fail("metrics-out: %v", err)
+		}
+		if err := metrics.WritePrometheus(f); err != nil {
+			fail("metrics-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("metrics-out: %v", err)
+		}
+		logf("lixserve: metrics snapshot written to %s", *metricsOut)
+	}
+	logf("lixserve: bye")
+}
+
+func plural(n int, noun string) string {
+	if n == 1 {
+		return fmt.Sprintf("%d %s", n, noun)
+	}
+	return fmt.Sprintf("%d %ss", n, noun)
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	lix "github.com/lix-go/lix"
+	"github.com/lix-go/lix/internal/serve"
+)
+
+// TestRunLoadgenSmoke drives the load generator against an in-process
+// server for a moment and checks the plumbing: ops flow, no protocol
+// errors, latency percentiles are populated and ordered, and the
+// BenchResult carries them for BENCH_<rev>.json.
+func TestRunLoadgenSmoke(t *testing.T) {
+	stack, err := lix.NewStack(nil, lix.StackConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(stack, serve.Config{ErrorLog: io.Discard, CloseStore: true})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	cfg := DefaultLoadgenConfig()
+	cfg.Addr = srv.Addr().String()
+	cfg.Conns = 2
+	cfg.Pipeline = 8
+	cfg.Duration = 250 * time.Millisecond
+	cfg.Keys = 10_000
+
+	tables, res, results, err := RunLoadgen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 1 {
+		t.Fatalf("tables = %+v, want one single-row table", tables)
+	}
+	if res.Ops == 0 || res.OpsPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d protocol errors during smoke run", res.Errors)
+	}
+	if res.P50 == 0 || res.P50 > res.P99 || res.P99 > res.P999 {
+		t.Fatalf("percentiles unordered: p50=%v p99=%v p999=%v", res.P50, res.P99, res.P999)
+	}
+	if len(results) != 1 || results[0].Name != "serve/95-5/pipeline=8" {
+		t.Fatalf("bench results = %+v", results)
+	}
+	if results[0].P99NS == 0 || results[0].OpsPerSec != res.OpsPerSec {
+		t.Fatalf("bench result missing latency/throughput: %+v", results[0])
+	}
+
+	// Open-loop pacing holds the aggregate rate near the target.
+	cfg.TargetQPS = 4000
+	cfg.Duration = 500 * time.Millisecond
+	_, res, _, err = RunLoadgen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpsPerSec > 2*cfg.TargetQPS {
+		t.Fatalf("open loop ran at %.0f ops/s, target %.0f", res.OpsPerSec, cfg.TargetQPS)
+	}
+}

@@ -184,6 +184,14 @@ func runMixed(keys []core.Key, cfg ServingConfig, readPct float64, get func(core
 type BenchResult struct {
 	Name      string  `json:"name"` // "serving/<workload>/<system>"
 	OpsPerSec float64 `json:"ops_per_sec"`
+
+	// Per-request latency percentiles in nanoseconds, recorded by modes
+	// that measure individual round-trips (the wire load generator).
+	// Zero on compute-bound modes; CompareBenchFiles gates on throughput
+	// only, so these ride along informationally.
+	P50NS  uint64 `json:"p50_ns,omitempty"`
+	P99NS  uint64 `json:"p99_ns,omitempty"`
+	P999NS uint64 `json:"p999_ns,omitempty"`
 }
 
 // BenchFile is the BENCH_<rev>.json document lixbench emits and compares.

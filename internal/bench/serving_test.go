@@ -62,3 +62,30 @@ func TestCompareBenchFiles(t *testing.T) {
 		t.Fatalf("regressions at 25%% threshold = %v, want none", regs)
 	}
 }
+
+// TestCompareThresholdBoundary pins the gate arithmetic the now-blocking
+// CI job relies on: the comparison is strict (change < -threshold), so a
+// drop landing exactly on the threshold is tolerated, anything past it
+// fails, and improvements never trip it. The boundary case uses a
+// binary-exact threshold (0.25) so it pins semantics, not float rounding.
+func TestCompareThresholdBoundary(t *testing.T) {
+	base := BenchFile{Rev: "a", Results: []BenchResult{{Name: "x", OpsPerSec: 1024}}}
+	cases := []struct {
+		newOps float64
+		reg    bool
+	}{
+		{768, false}, // exactly -25%: change == -threshold, not < — passes
+		{769, false},
+		{767, true}, // one tick past the line
+		{512, true},
+		{1024, false},
+		{2048, false}, // improvement
+	}
+	for _, c := range cases {
+		cur := BenchFile{Rev: "b", Results: []BenchResult{{Name: "x", OpsPerSec: c.newOps}}}
+		regs, _ := CompareBenchFiles(base, cur, 0.25)
+		if got := len(regs) > 0; got != c.reg {
+			t.Errorf("1024 -> %g ops/s: regression=%v, want %v (%v)", c.newOps, got, c.reg, regs)
+		}
+	}
+}

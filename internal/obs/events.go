@@ -11,7 +11,9 @@ import (
 // systems: model retrains (XIndex, LISA), node splits and other structure
 // modification operations (ALEX, LIPP, B+-tree), delta-buffer flushes and
 // merges (FITing-tree, dynamic PGM), LSM compactions (Bourbon), RCU root
-// swaps (XIndex) and drift-detector trips (§6.3 retraining triggers).
+// swaps (XIndex), drift-detector trips (§6.3 retraining triggers), and the
+// serving lifecycle (durable checkpoints/flushes/recovery, front-end
+// drains).
 type EventType uint8
 
 // Event types.
@@ -26,6 +28,7 @@ const (
 	EvCheckpoint
 	EvWALFlush
 	EvRecovery
+	EvDrain
 	numEventTypes
 )
 
@@ -53,6 +56,8 @@ func (t EventType) String() string {
 		return "wal_flush"
 	case EvRecovery:
 		return "recovery"
+	case EvDrain:
+		return "drain"
 	default:
 		return fmt.Sprintf("event_%d", uint8(t))
 	}

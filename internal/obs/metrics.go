@@ -53,6 +53,18 @@ type Metrics struct {
 	// the durable storage layer's group commits.
 	FsyncNS Histogram
 
+	// Serving front-end instrumentation, maintained by internal/serve:
+	// Requests counts frames received, Errors counts error replies sent
+	// (protocol violations and refused connections included), Groups
+	// counts pipelined request groups dispatched, GroupLen is the
+	// frames-per-group histogram, and Conns tracks currently open
+	// connections.
+	Requests Counter
+	Errors   Counter
+	Groups   Counter
+	GroupLen Histogram
+	Conns    Gauge
+
 	// Events is the structural event stream.
 	Events EventLog
 
@@ -161,6 +173,7 @@ type HistogramSummary struct {
 	P50   uint64  `json:"p50"`
 	P90   uint64  `json:"p90"`
 	P99   uint64  `json:"p99"`
+	P999  uint64  `json:"p999"`
 	Max   uint64  `json:"max"`
 
 	raw HistSnapshot
@@ -175,6 +188,7 @@ func summarize(h *Histogram) HistogramSummary {
 		P50:   s.Quantile(0.50),
 		P90:   s.Quantile(0.90),
 		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
 		Max:   s.Max,
 		raw:   s,
 	}
@@ -184,19 +198,27 @@ func summarize(h *Histogram) HistogramSummary {
 type Snapshot struct {
 	Name       string                      `json:"name"`
 	Counters   map[string]uint64           `json:"counters"`
+	Gauges     map[string]int64            `json:"gauges"`
 	Histograms map[string]HistogramSummary `json:"histograms"`
 	Events     map[string]uint64           `json:"events"`
 	Recent     []Event                     `json:"recent_events,omitempty"`
 }
 
 // counterNames fixes the rendering order of the counter set.
-var counterNames = []string{"lookups", "hits", "inserts", "deletes", "ranges", "batches"}
+var counterNames = []string{
+	"lookups", "hits", "inserts", "deletes", "ranges", "batches",
+	"requests", "errors", "groups",
+}
 
 // histNames fixes the rendering order of the histogram set.
 var histNames = []string{
 	"get_ns", "insert_ns", "delete_ns", "range_ns",
 	"range_len", "batch_ns", "batch_len", "search_probes", "search_window", "fsync_ns",
+	"group_len",
 }
+
+// gaugeNames fixes the rendering order of the gauge set.
+var gaugeNames = []string{"conns"}
 
 func (m *Metrics) counter(name string) *Counter {
 	switch name {
@@ -212,6 +234,20 @@ func (m *Metrics) counter(name string) *Counter {
 		return &m.Ranges
 	case "batches":
 		return &m.Batches
+	case "requests":
+		return &m.Requests
+	case "errors":
+		return &m.Errors
+	case "groups":
+		return &m.Groups
+	}
+	return nil
+}
+
+func (m *Metrics) gauge(name string) *Gauge {
+	switch name {
+	case "conns":
+		return &m.Conns
 	}
 	return nil
 }
@@ -238,6 +274,8 @@ func (m *Metrics) histogram(name string) *Histogram {
 		return &m.Window
 	case "fsync_ns":
 		return &m.FsyncNS
+	case "group_len":
+		return &m.GroupLen
 	}
 	return nil
 }
@@ -248,11 +286,15 @@ func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		Name:       m.Name,
 		Counters:   make(map[string]uint64, len(counterNames)),
+		Gauges:     make(map[string]int64, len(gaugeNames)),
 		Histograms: make(map[string]HistogramSummary, len(histNames)),
 		Events:     make(map[string]uint64, int(numEventTypes)),
 	}
 	for _, n := range counterNames {
 		s.Counters[n] = m.counter(n).Load()
+	}
+	for _, n := range gaugeNames {
+		s.Gauges[n] = m.gauge(n).Load()
 	}
 	for _, n := range histNames {
 		s.Histograms[n] = summarize(m.histogram(n))
@@ -290,6 +332,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	for _, n := range counterNames {
 		if _, err := fmt.Fprintf(w, "# TYPE lix_%s_total counter\nlix_%s_total{%s} %d\n",
 			n, n, lbl, m.counter(n).Load()); err != nil {
+			return err
+		}
+	}
+	for _, n := range gaugeNames {
+		if _, err := fmt.Fprintf(w, "# TYPE lix_%s gauge\nlix_%s{%s} %d\n",
+			n, n, lbl, m.gauge(n).Load()); err != nil {
 			return err
 		}
 	}

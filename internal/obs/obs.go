@@ -79,6 +79,29 @@ func (c *Counter) Load() uint64 {
 	return total
 }
 
+// Gauge is an atomic up/down level indicator (open connections, in-flight
+// groups). The zero value is ready to use. Unlike Counter it is a single
+// atomic word: gauges are read as often as written and stay low-frequency,
+// so cache-line sharding would only blur the level.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc raises the gauge by 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec lowers the gauge by 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add moves the gauge by n (negative to lower).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge's level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // histBuckets is the number of log₂ buckets: bucket i holds observations v
 // with bits.Len64(v) == i, i.e. bucket 0 is exactly v==0 and bucket i>=1
 // covers [2^(i-1), 2^i). 65 buckets span the whole uint64 range.

@@ -236,6 +236,29 @@ func TestPublishExpvar(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Load(); got != 1 {
+		t.Fatalf("gauge after Inc,Inc,Dec = %d, want 1", got)
+	}
+	g.Add(-5)
+	if got := g.Load(); got != -4 {
+		t.Fatalf("gauge after Add(-5) = %d, want -4", got)
+	}
+	g.Set(7)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge after Set(7) = %d, want 7", got)
+	}
+	m := NewMetrics("g")
+	m.Conns.Inc()
+	if s := m.Snapshot(); s.Gauges["conns"] != 1 {
+		t.Fatalf("snapshot gauges %+v, want conns=1", s.Gauges)
+	}
+}
+
 // TestWritePrometheusGolden pins the exposition format byte-for-byte.
 func TestWritePrometheusGolden(t *testing.T) {
 	m := NewMetrics("t")
@@ -268,6 +291,14 @@ lix_deletes_total{index="t"} 0
 lix_ranges_total{index="t"} 0
 # TYPE lix_batches_total counter
 lix_batches_total{index="t"} 0
+# TYPE lix_requests_total counter
+lix_requests_total{index="t"} 0
+# TYPE lix_errors_total counter
+lix_errors_total{index="t"} 0
+# TYPE lix_groups_total counter
+lix_groups_total{index="t"} 0
+# TYPE lix_conns gauge
+lix_conns{index="t"} 0
 # TYPE lix_get_ns histogram
 lix_get_ns_bucket{index="t",le="0"} 0
 lix_get_ns_bucket{index="t",le="1"} 1
@@ -285,6 +316,7 @@ lix_get_ns_count{index="t"} 2
 		emptyHist("lix_search_probes") +
 		emptyHist("lix_search_window") +
 		emptyHist("lix_fsync_ns") +
+		emptyHist("lix_group_len") +
 		`# TYPE lix_events_total counter
 lix_events_total{index="t",type="retrain"} 1
 lix_events_total{index="t",type="node_split"} 0
@@ -296,6 +328,7 @@ lix_events_total{index="t",type="drift_trip"} 0
 lix_events_total{index="t",type="checkpoint"} 0
 lix_events_total{index="t",type="wal_flush"} 0
 lix_events_total{index="t",type="recovery"} 0
+lix_events_total{index="t",type="drain"} 0
 `
 	if got := b.String(); got != golden {
 		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
@@ -320,7 +353,8 @@ func TestWritePrometheusAll(t *testing.T) {
 
 func TestEventTypeStrings(t *testing.T) {
 	want := []string{"retrain", "node_split", "buffer_flush", "buffer_merge",
-		"compaction", "rcu_swap", "drift_trip", "checkpoint", "wal_flush", "recovery"}
+		"compaction", "rcu_swap", "drift_trip", "checkpoint", "wal_flush", "recovery",
+		"drain"}
 	types := EventTypes()
 	if len(types) != len(want) {
 		t.Fatalf("EventTypes() has %d entries, want %d", len(types), len(want))

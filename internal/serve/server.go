@@ -1,0 +1,568 @@
+// Package serve is the networked serving front-end of the lix engine: a
+// stdlib-only TCP server speaking the internal/wire protocol over any
+// assembled index stack.
+//
+// The design goal is to make the batch capabilities from the engine layer
+// (core.BatchLookuper / BatchInserter / BatchDeleter, forwarded through
+// shard, durable and obs wrappers) earn their keep on the network path.
+// Each connection is one goroutine that reads *pipelined request groups*:
+// one blocking read for the first frame, then a non-blocking drain of
+// every complete frame already received (wire.Reader.FrameBuffered). The
+// group is then dispatched run-by-run — consecutive reads become one
+// LookupBatch, consecutive writes one InsertBatch, consecutive deletes
+// one DeleteBatch — so a pipelined MGET of 256 keys is one shard fan-out
+// and one WAL frame group, not 256 independent calls. Replies are written
+// in request order and flushed once per group.
+//
+// Pipelined semantics are sequential: a request observes every earlier
+// request on the same connection. Run grouping preserves this because
+// runs are homogeneous — reads cannot observe reads, InsertBatch is
+// later-wins and DeleteBatch first-wins, both exactly the sequential
+// outcome.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
+	"github.com/lix-go/lix/internal/wire"
+)
+
+// Store is the index surface the server needs: the mutable point/range
+// interface. Batch capabilities are optional and detected through the
+// core dispatch helpers, so any layer of the engine stack — a bare
+// backend, lix.Sharded, lix.Durable, an observed wrapper or the whole
+// lix.Stack — serves without adaptation. If the store also implements
+// io.Closer and Config.CloseStore is set, Shutdown closes it after the
+// drain.
+type Store interface {
+	Get(k core.Key) (core.Value, bool)
+	Insert(k core.Key, v core.Value)
+	Delete(k core.Key) bool
+	Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int
+}
+
+// Config tunes a Server. The zero value listens on ":0" with the
+// defaults below.
+type Config struct {
+	// Addr is the TCP listen address (default ":0", an ephemeral port).
+	Addr string
+	// MaxConns caps concurrently served connections (default 1024).
+	// Excess dials receive an ERR frame and are closed.
+	MaxConns int
+	// MaxFrame is the frame-size guard in bytes for both directions
+	// (default wire.DefaultMaxFrame).
+	MaxFrame int
+	// MaxGroup caps the frames drained into one pipelined group
+	// (default 1024); longer pipelines are served as consecutive groups.
+	MaxGroup int
+	// MaxScan caps SCAN results per request (default 65536, always
+	// additionally clamped so the reply fits MaxFrame).
+	MaxScan int
+	// IdleTimeout is the read deadline while waiting for the first frame
+	// of a group (default 5m; negative disables). A connection idle past
+	// it is closed.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds flushing one group's replies (default 30s;
+	// negative disables).
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight groups
+	// (default 5s).
+	DrainTimeout time.Duration
+	// Metrics, when set, receives the serving instrumentation:
+	// Conns gauge, Requests/Errors/Groups counters, GroupLen and per-op
+	// latency histograms, and the EvDrain event.
+	Metrics *obs.Metrics
+	// CloseStore makes Shutdown close the store (when it implements
+	// io.Closer) after the drain completes.
+	CloseStore bool
+	// ErrorLog receives accept/serve diagnostics (default os.Stderr;
+	// use io.Discard to silence).
+	ErrorLog io.Writer
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Addr == "" {
+		out.Addr = ":0"
+	}
+	if out.MaxConns <= 0 {
+		out.MaxConns = 1024
+	}
+	if out.MaxFrame <= 0 {
+		out.MaxFrame = wire.DefaultMaxFrame
+	}
+	if out.MaxGroup <= 0 {
+		out.MaxGroup = 1024
+	}
+	if out.MaxScan <= 0 {
+		out.MaxScan = 65536
+	}
+	// Clamp scans so the RKVs reply (9-byte header + 16 bytes/record)
+	// always fits the frame guard.
+	if fit := (out.MaxFrame - 9) / 16; out.MaxScan > fit {
+		out.MaxScan = fit
+	}
+	if out.IdleTimeout == 0 {
+		out.IdleTimeout = 5 * time.Minute
+	}
+	if out.WriteTimeout == 0 {
+		out.WriteTimeout = 30 * time.Second
+	}
+	if out.DrainTimeout <= 0 {
+		out.DrainTimeout = 5 * time.Second
+	}
+	if out.ErrorLog == nil {
+		out.ErrorLog = os.Stderr
+	}
+	return out
+}
+
+// Server is a pipelined TCP front-end over a Store. Create with New,
+// start with Start, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	store Store
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining atomic.Bool
+	wg       sync.WaitGroup // accept loop + connection handlers
+	started  atomic.Bool
+}
+
+// New returns an unstarted server over store.
+func New(store Store, cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Start binds the listen address and begins accepting connections. It
+// returns once the listener is live; serving continues on background
+// goroutines until Shutdown.
+func (s *Server) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("serve: server already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed (Shutdown) or fatal accept error: stop.
+			if !s.draining.Load() {
+				fmt.Fprintf(s.cfg.ErrorLog, "lixserve: accept: %v\n", err)
+			}
+			return
+		}
+		if !s.track(conn) {
+			// Over the connection limit (or draining): refuse politely.
+			s.countError()
+			refusal := "server at connection limit"
+			if s.draining.Load() {
+				refusal = "server draining"
+			}
+			w := wire.NewWriter(conn, s.cfg.MaxFrame)
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			w.Write(&wire.Msg{Op: wire.RErr, Err: refusal})
+			w.Flush()
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// track registers conn, enforcing MaxConns and the draining gate.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() || len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	if m := s.cfg.Metrics; m != nil {
+		m.Conns.Inc()
+	}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	if m := s.cfg.Metrics; m != nil {
+		m.Conns.Dec()
+	}
+}
+
+func (s *Server) countError() {
+	if m := s.cfg.Metrics; m != nil {
+		m.Errors.Inc()
+	}
+}
+
+// serveConn runs one connection: read a pipelined group, dispatch it
+// through the batch capabilities, write replies, flush, repeat.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	r := wire.NewReader(conn, s.cfg.MaxFrame)
+	w := wire.NewWriter(conn, s.cfg.MaxFrame)
+	group := make([]wire.Msg, 0, 64)
+
+	for {
+		// Deadline first, drain check second: Shutdown sets draining and
+		// then stamps an immediate read deadline on every connection, so
+		// this order guarantees a handler either sees the flag here or
+		// has its blocking read below woken — never a lost wake-up.
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		if s.draining.Load() {
+			return
+		}
+		first, err := r.Read()
+		if err != nil {
+			// EOF and drain wake-ups end the connection quietly; protocol
+			// violations get a final ERR frame (the stream is
+			// desynchronized, so the connection must close either way).
+			if isProtocolErr(err) && !s.draining.Load() {
+				s.replyFatal(conn, w, err)
+			}
+			return
+		}
+
+		// Drain every complete frame already received into this group — a
+		// malformed frame cuts the group: everything before it is served,
+		// then the connection dies with an ERR frame. It never travels
+		// with valid requests into the dispatcher.
+		group = append(group[:0], first)
+		var groupErr error
+		for len(group) < s.cfg.MaxGroup && r.FrameBuffered() {
+			m, err := r.Read()
+			if err != nil {
+				groupErr = err
+				break
+			}
+			group = append(group, m)
+		}
+
+		s.dispatch(group, w)
+
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		if groupErr != nil && isProtocolErr(groupErr) {
+			s.countError()
+			w.Write(&wire.Msg{Op: wire.RErr, Err: groupErr.Error()})
+		}
+		if err := w.Flush(); err != nil || groupErr != nil {
+			return
+		}
+	}
+}
+
+// isProtocolErr reports whether err is a client-caused framing error that
+// deserves an ERR reply (as opposed to EOF/timeouts/transport failures).
+func isProtocolErr(err error) bool {
+	return errors.Is(err, wire.ErrMalformed) || errors.Is(err, wire.ErrFrameTooLarge)
+}
+
+// replyFatal sends one final ERR frame before the connection closes.
+func (s *Server) replyFatal(conn net.Conn, w *wire.Writer, err error) {
+	s.countError()
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	w.Write(&wire.Msg{Op: wire.RErr, Err: err.Error()})
+	w.Flush()
+}
+
+// runKind classifies opcodes into batchable families.
+type runKind uint8
+
+const (
+	runNone  runKind = iota
+	runRead          // OpGet, OpMGet -> one LookupBatch
+	runWrite         // OpSet, OpMSet -> one InsertBatch
+	runDel           // OpDel         -> one DeleteBatch
+	runSolo          // OpScan, OpPing, anything else
+)
+
+func classify(op wire.Op) runKind {
+	switch op {
+	case wire.OpGet, wire.OpMGet:
+		return runRead
+	case wire.OpSet, wire.OpMSet:
+		return runWrite
+	case wire.OpDel:
+		return runDel
+	default:
+		return runSolo
+	}
+}
+
+// dispatch serves one pipelined group: it slices the group into maximal
+// runs of batchable ops, dispatches each run through the store's batch
+// capabilities, and writes one reply per request in request order.
+func (s *Server) dispatch(group []wire.Msg, w *wire.Writer) {
+	m := s.cfg.Metrics
+	if m != nil {
+		m.Groups.Inc()
+		m.GroupLen.Observe(uint64(len(group)))
+		m.Requests.Add(uint64(len(group)))
+	}
+	for i := 0; i < len(group); {
+		kind := classify(group[i].Op)
+		j := i + 1
+		for kind != runSolo && j < len(group) && classify(group[j].Op) == kind {
+			j++
+		}
+		run := group[i:j]
+		start := time.Now()
+		switch kind {
+		case runRead:
+			s.serveReads(run, w)
+		case runWrite:
+			s.serveWrites(run, w)
+		case runDel:
+			s.serveDeletes(run, w)
+		default:
+			s.serveSolo(&run[0], w)
+		}
+		if m != nil {
+			// Attribute the run's latency to each request in it, into the
+			// op-family histogram.
+			lat := uint64(time.Since(start)) / uint64(len(run))
+			var h *obs.Histogram
+			switch kind {
+			case runRead:
+				h = &m.GetNS
+			case runWrite:
+				h = &m.InsertNS
+			case runDel:
+				h = &m.DeleteNS
+			default:
+				h = &m.RangeNS
+			}
+			for range run {
+				h.Observe(lat)
+			}
+		}
+		i = j
+	}
+}
+
+// serveReads answers a run of GET/MGET frames with one LookupBatch.
+func (s *Server) serveReads(run []wire.Msg, w *wire.Writer) {
+	if len(run) == 1 && run[0].Op == wire.OpGet {
+		// Solo point read: skip batch assembly.
+		v, ok := s.store.Get(run[0].Key)
+		s.writeGetReply(w, v, ok)
+		return
+	}
+	total := 0
+	for i := range run {
+		if run[i].Op == wire.OpGet {
+			total++
+		} else {
+			total += len(run[i].Keys)
+		}
+	}
+	keys := make([]core.Key, 0, total)
+	for i := range run {
+		if run[i].Op == wire.OpGet {
+			keys = append(keys, run[i].Key)
+		} else {
+			keys = append(keys, run[i].Keys...)
+		}
+	}
+	vals, oks := core.LookupBatch(s.store, keys)
+	// Split the flat answers back into one reply per request frame.
+	off := 0
+	for i := range run {
+		if run[i].Op == wire.OpGet {
+			s.writeGetReply(w, vals[off], oks[off])
+			off++
+			continue
+		}
+		n := len(run[i].Keys)
+		w.Write(&wire.Msg{Op: wire.RValues, Vals: vals[off : off+n], Oks: oks[off : off+n]})
+		off += n
+	}
+}
+
+func (s *Server) writeGetReply(w *wire.Writer, v core.Value, ok bool) {
+	if ok {
+		w.Write(&wire.Msg{Op: wire.RValue, Val: v})
+	} else {
+		w.Write(&wire.Msg{Op: wire.RNil})
+	}
+}
+
+// serveWrites applies a run of SET/MSET frames with one InsertBatch.
+// Flattening in request order makes InsertBatch's later-wins semantics
+// exactly the sequential pipelined outcome.
+func (s *Server) serveWrites(run []wire.Msg, w *wire.Writer) {
+	if len(run) == 1 && run[0].Op == wire.OpSet {
+		s.store.Insert(run[0].Key, run[0].Val)
+		w.Write(&wire.Msg{Op: wire.ROK})
+		return
+	}
+	total := 0
+	for i := range run {
+		if run[i].Op == wire.OpSet {
+			total++
+		} else {
+			total += len(run[i].Recs)
+		}
+	}
+	recs := make([]core.KV, 0, total)
+	for i := range run {
+		if run[i].Op == wire.OpSet {
+			recs = append(recs, core.KV{Key: run[i].Key, Value: run[i].Val})
+		} else {
+			recs = append(recs, run[i].Recs...)
+		}
+	}
+	core.InsertBatch(s.store, recs)
+	for range run {
+		w.Write(&wire.Msg{Op: wire.ROK})
+	}
+}
+
+// serveDeletes applies a run of DEL frames with one DeleteBatch.
+// First-wins per-key liveness is exactly the sequential outcome.
+func (s *Server) serveDeletes(run []wire.Msg, w *wire.Writer) {
+	if len(run) == 1 {
+		ok := s.store.Delete(run[0].Key)
+		w.Write(&wire.Msg{Op: wire.RBool, Ok: ok})
+		return
+	}
+	keys := make([]core.Key, len(run))
+	for i := range run {
+		keys[i] = run[i].Key
+	}
+	oks := core.DeleteBatch(s.store, keys)
+	for _, ok := range oks {
+		w.Write(&wire.Msg{Op: wire.RBool, Ok: ok})
+	}
+}
+
+// serveSolo answers the non-batchable opcodes.
+func (s *Server) serveSolo(m *wire.Msg, w *wire.Writer) {
+	switch m.Op {
+	case wire.OpPing:
+		w.Write(&wire.Msg{Op: wire.ROK})
+	case wire.OpScan:
+		limit := s.cfg.MaxScan
+		if m.Limit > 0 && int(m.Limit) < limit {
+			limit = int(m.Limit)
+		}
+		var recs []core.KV
+		if m.Lo <= m.Hi {
+			recs = make([]core.KV, 0, 16)
+			s.store.Range(m.Lo, m.Hi, func(k core.Key, v core.Value) bool {
+				recs = append(recs, core.KV{Key: k, Value: v})
+				return len(recs) < limit
+			})
+		}
+		w.Write(&wire.Msg{Op: wire.RKVs, Recs: recs})
+	default:
+		s.countError()
+		w.Write(&wire.Msg{Op: wire.RErr, Err: fmt.Sprintf("unsupported opcode %s", m.Op)})
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting (late dials are
+// refused), wake connections blocked waiting for a new group, let
+// in-flight groups finish and their replies flush, then — after every
+// handler returns or DrainTimeout passes — close remaining connections
+// and, with Config.CloseStore, the store. It is idempotent; concurrent
+// calls share the same drain.
+func (s *Server) Shutdown() error {
+	if !s.started.Load() {
+		return errors.New("serve: server not started")
+	}
+	first := s.draining.CompareAndSwap(false, true)
+	if first {
+		s.ln.Close()
+		// Wake handlers blocked in the first-frame read: the expired
+		// deadline surfaces as a read error, and the draining flag turns
+		// it into a quiet exit. A handler mid-group is untouched — it
+		// holds no deadline until its next read — so its replies flush.
+		s.mu.Lock()
+		open := len(s.conns)
+		for c := range s.conns {
+			c.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
+		if m := s.cfg.Metrics; m != nil {
+			m.Event(obs.Event{Type: obs.EvDrain, N: open, Detail: "begin"})
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		err = fmt.Errorf("serve: drain timeout after %v", s.cfg.DrainTimeout)
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	if first {
+		if m := s.cfg.Metrics; m != nil {
+			m.Event(obs.Event{Type: obs.EvDrain, Detail: "complete"})
+		}
+		if s.cfg.CloseStore {
+			if c, ok := s.store.(io.Closer); ok {
+				if cerr := c.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
+	}
+	return err
+}

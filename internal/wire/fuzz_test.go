@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at the frame payload decoder. The
+// invariants, in order of importance:
+//
+//  1. Decode never panics and never over-allocates: every slice it builds
+//     is sized from the actual payload length, not the attacker-supplied
+//     count (the strict count==body check enforces this).
+//  2. Accepted payloads are canonical: re-encoding the decoded message
+//     reproduces the input bytes exactly (Encode(Decode(x)) == x), and the
+//     re-encoded frame decodes to the same message again.
+//
+// Runs in the CI fuzz smoke step alongside the WAL/snapshot fuzzers.
+func FuzzWireDecode(f *testing.F) {
+	for _, m := range canonMsgs() {
+		b, err := AppendFrame(nil, &m, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b[HeaderLen:])
+	}
+	// Hostile seeds: oversized counts, truncations, unknown opcodes.
+	f.Add([]byte{})
+	f.Add([]byte{0x04, 0xff, 0xff, 0xff, 0xff})             // MGET count 4G, empty body
+	f.Add([]byte{0x05, 0x00, 0x00, 0x01, 0x00, 0xaa})       // MSET count 256, 1 byte
+	f.Add([]byte{0x85, 0x7f, 0xff, 0xff, 0xff, 0x01, 0x02}) // VALUES huge count
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x00})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > DefaultMaxFrame {
+			// The Reader's guard rejects these before Decode ever runs.
+			return
+		}
+		m, err := Decode(payload)
+		if err != nil {
+			return
+		}
+		// Over-allocation guard: decoded element storage can never exceed
+		// the bytes that backed it.
+		if 8*len(m.Keys) > len(payload) || 16*len(m.Recs) > len(payload) ||
+			9*len(m.Vals) > len(payload) || len(m.Err) > len(payload) {
+			t.Fatalf("decoded slices larger than payload: %d bytes -> %d keys %d recs %d vals",
+				len(payload), len(m.Keys), len(m.Recs), len(m.Vals))
+		}
+		re, err := AppendFrame(nil, &m, 0)
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v (msg %+v)", err, m)
+		}
+		if !bytes.Equal(re[HeaderLen:], payload) {
+			t.Fatalf("Encode(Decode(x)) != x\n  x: %x\n  re: %x", payload, re[HeaderLen:])
+		}
+		m2, err := Decode(re[HeaderLen:])
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if m2.Op != m.Op {
+			t.Fatalf("re-decode changed opcode: %v -> %v", m.Op, m2.Op)
+		}
+	})
+}

@@ -1,0 +1,317 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// canonMsgs is the table of canonical messages shared by the roundtrip,
+// transport and fuzz-seed tests: one of every opcode, plus empty and
+// multi-element batch shapes.
+func canonMsgs() []Msg {
+	return []Msg{
+		{Op: OpGet, Key: 42},
+		{Op: OpGet, Key: ^core.Key(0)},
+		{Op: OpSet, Key: 7, Val: 9000},
+		{Op: OpDel, Key: 0},
+		{Op: OpMGet, Keys: []core.Key{}},
+		{Op: OpMGet, Keys: []core.Key{1, 2, 3, ^core.Key(0)}},
+		{Op: OpMSet, Recs: []core.KV{}},
+		{Op: OpMSet, Recs: []core.KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}}},
+		{Op: OpScan, Lo: 5, Hi: 500, Limit: 128},
+		{Op: OpScan, Lo: 0, Hi: ^core.Key(0), Limit: 0},
+		{Op: OpPing},
+		{Op: RValue, Val: 77},
+		{Op: RNil},
+		{Op: ROK},
+		{Op: RBool, Ok: true},
+		{Op: RBool, Ok: false},
+		{Op: RValues, Vals: []core.Value{}, Oks: []bool{}},
+		{Op: RValues, Vals: []core.Value{5, 0, 6}, Oks: []bool{true, false, true}},
+		{Op: RKVs, Recs: []core.KV{}},
+		{Op: RKVs, Recs: []core.KV{{Key: 3, Value: 30}}},
+		{Op: RErr, Err: "no such thing"},
+		{Op: RErr, Err: ""},
+	}
+}
+
+// frame encodes m or fails the test.
+func frame(t *testing.T, m Msg) []byte {
+	t.Helper()
+	b, err := AppendFrame(nil, &m, 0)
+	if err != nil {
+		t.Fatalf("AppendFrame(%+v): %v", m, err)
+	}
+	return b
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	for _, m := range canonMsgs() {
+		b := frame(t, m)
+		if got := int(binary.BigEndian.Uint32(b)); got != len(b)-HeaderLen {
+			t.Fatalf("%s: header says %d payload bytes, frame has %d", m.Op, got, len(b)-HeaderLen)
+		}
+		dec, err := Decode(b[HeaderLen:])
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", m.Op, err)
+		}
+		re, err := AppendFrame(nil, &dec, 0)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", m.Op, err)
+		}
+		if !bytes.Equal(b, re) {
+			t.Fatalf("%s: Encode(Decode(x)) != x\n x: %x\n re: %x", m.Op, b, re)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	mget2 := frame(t, Msg{Op: OpMGet, Keys: []core.Key{1, 2}})[HeaderLen:]
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"unknown opcode", []byte{0x7f}},
+		{"unknown reply opcode", []byte{0xff, 1, 2}},
+		{"GET short body", []byte{byte(OpGet), 1, 2, 3}},
+		{"GET trailing bytes", append(frame(t, Msg{Op: OpGet, Key: 1})[HeaderLen:], 0)},
+		{"PING with body", []byte{byte(OpPing), 0}},
+		{"MGET count too large", func() []byte {
+			b := append([]byte(nil), mget2...)
+			binary.BigEndian.PutUint32(b[1:], 3) // claims 3 keys, carries 2
+			return b
+		}()},
+		{"MGET count too small", func() []byte {
+			b := append([]byte(nil), mget2...)
+			binary.BigEndian.PutUint32(b[1:], 1)
+			return b
+		}()},
+		{"MGET huge count small body", func() []byte {
+			b := append([]byte(nil), mget2...)
+			binary.BigEndian.PutUint32(b[1:], 0xffffffff)
+			return b
+		}()},
+		{"MGET truncated count", []byte{byte(OpMGet), 0, 0}},
+		{"MSET ragged entry", append(frame(t, Msg{Op: OpMSet, Recs: []core.KV{{Key: 1, Value: 2}}})[HeaderLen:], 9)},
+		{"SCAN short", []byte{byte(OpScan), 0, 0, 0}},
+		{"BOOL bad byte", []byte{byte(RBool), 2}},
+		{"VALUES bad ok byte", func() []byte {
+			b := frame(t, Msg{Op: RValues, Vals: []core.Value{1}, Oks: []bool{true}})[HeaderLen:]
+			b[5] = 7
+			return b
+		}()},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.payload); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: Decode = %v, want ErrMalformed", c.name, err)
+		}
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	if _, err := AppendFrame(nil, &Msg{Op: Op(0x55)}, 0); !errors.Is(err, ErrMalformed) {
+		t.Errorf("unknown opcode: %v, want ErrMalformed", err)
+	}
+	if _, err := AppendFrame(nil, &Msg{Op: RValues, Vals: make([]core.Value, 2), Oks: make([]bool, 1)}, 0); !errors.Is(err, ErrMalformed) {
+		t.Errorf("ragged RValues: %v, want ErrMalformed", err)
+	}
+	big := Msg{Op: OpMSet, Recs: make([]core.KV, 100)}
+	if _, err := AppendFrame(nil, &big, 64); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized encode: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestReaderPartialDelivery splits a pipelined two-frame stream at every
+// byte boundary and checks the Reader reassembles both frames regardless
+// of where the network fragmented them.
+func TestReaderPartialDelivery(t *testing.T) {
+	m1 := Msg{Op: OpMSet, Recs: []core.KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}}}
+	m2 := Msg{Op: OpGet, Key: 99}
+	stream := append(frame(t, m1), frame(t, m2)...)
+	for cut := 0; cut <= len(stream); cut++ {
+		client, server := net.Pipe()
+		go func() {
+			client.Write(stream[:cut])
+			client.Write(stream[cut:])
+			client.Close()
+		}()
+		r := NewReader(server, 0)
+		got1, err := r.Read()
+		if err != nil {
+			t.Fatalf("cut %d: first Read: %v", cut, err)
+		}
+		got2, err := r.Read()
+		if err != nil {
+			t.Fatalf("cut %d: second Read: %v", cut, err)
+		}
+		if !reflect.DeepEqual(got1, m1) || !reflect.DeepEqual(got2, m2) {
+			t.Fatalf("cut %d: frames corrupted: %+v / %+v", cut, got1, got2)
+		}
+		if _, err := r.Read(); err != io.EOF {
+			t.Fatalf("cut %d: trailing Read = %v, want EOF", cut, err)
+		}
+		server.Close()
+	}
+}
+
+// TestReaderTruncatedStream cuts the stream for good at every boundary:
+// every prefix must yield either clean EOF (cut between frames) or an
+// unexpected-EOF-ish error, never a decoded frame from half the bytes.
+func TestReaderTruncatedStream(t *testing.T) {
+	full := frame(t, Msg{Op: OpSet, Key: 5, Val: 50})
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]), 0)
+		_, err := r.Read()
+		switch {
+		case cut == 0 && err != io.EOF:
+			t.Fatalf("cut 0: err = %v, want EOF", err)
+		case cut > 0 && err == nil:
+			t.Fatalf("cut %d: decoded a frame from a truncated stream", cut)
+		}
+	}
+}
+
+// TestReaderDeadlineMidFrame delivers half a frame and lets the read
+// deadline expire: the Reader must surface a timeout, not hang and not
+// fabricate a frame.
+func TestReaderDeadlineMidFrame(t *testing.T) {
+	full := frame(t, Msg{Op: OpSet, Key: 5, Val: 50})
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go client.Write(full[:len(full)-3])
+	server.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	r := NewReader(server, 0)
+	_, err := r.Read()
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("mid-frame deadline: err = %v, want a net timeout", err)
+	}
+}
+
+// TestReaderMaxFrame checks the size guard fires from the header alone:
+// the reader sees only 4 bytes, so a hostile length cannot make it block
+// on (or allocate) a giant payload.
+func TestReaderMaxFrame(t *testing.T) {
+	var hdr [HeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	r := NewReader(bytes.NewReader(hdr[:]), 4096)
+	if _, err := r.Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized header: err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// Exactly at the limit passes.
+	m := Msg{Op: RErr, Err: string(bytes.Repeat([]byte{'x'}, 100))}
+	b := frame(t, m)
+	r = NewReader(bytes.NewReader(b), 101)
+	if got, err := r.Read(); err != nil || got.Err != m.Err {
+		t.Fatalf("at-limit frame: %v %v", got, err)
+	}
+	// One byte over fails.
+	r = NewReader(bytes.NewReader(b), 100)
+	if _, err := r.Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("one-over frame: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestFrameBuffered pins the non-blocking group-drain contract: complete
+// already-received frames report true, partial ones false, and an
+// oversized buffered header reports true so its error is taken with the
+// current group instead of poisoning the next.
+func TestFrameBuffered(t *testing.T) {
+	f1 := frame(t, Msg{Op: OpGet, Key: 1})
+	f2 := frame(t, Msg{Op: OpSet, Key: 2, Val: 3})
+	f3 := frame(t, Msg{Op: OpDel, Key: 4})
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	r := NewReader(server, 0)
+	if r.FrameBuffered() {
+		t.Fatal("empty reader claims a buffered frame")
+	}
+	// One network delivery carrying frame 1, frame 2 and a sliver of
+	// frame 3 — the canonical pipelined-arrival shape.
+	go client.Write(append(append(append([]byte{}, f1...), f2...), f3[:5]...))
+	if m, err := r.Read(); err != nil || m.Op != OpGet {
+		t.Fatalf("first frame: %+v %v", m, err)
+	}
+	if !r.FrameBuffered() {
+		t.Fatal("complete pipelined frame not reported as buffered")
+	}
+	if m, err := r.Read(); err != nil || m.Op != OpSet || m.Val != 3 {
+		t.Fatalf("second frame: %+v %v", m, err)
+	}
+	// Frame 3 is only partially delivered: must not claim it (a blocking
+	// Read inside a group drain would stall every reply behind a slow
+	// sender).
+	if r.FrameBuffered() {
+		t.Fatal("partial frame reported as buffered")
+	}
+	go client.Write(f3[5:])
+	if m, err := r.Read(); err != nil || m.Op != OpDel {
+		t.Fatalf("third frame: %+v %v", m, err)
+	}
+
+	// An oversized header that is already buffered must report true: Read
+	// will fail fast, and the caller needs to see that now.
+	var hdr [HeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	stream := append(append([]byte{}, f1...), hdr[:]...)
+	r = NewReader(bytes.NewReader(stream), 4096)
+	if m, err := r.Read(); err != nil || m.Op != OpGet {
+		t.Fatalf("frame before oversized header: %+v %v", m, err)
+	}
+	if !r.FrameBuffered() {
+		t.Fatal("buffered oversized header not reported")
+	}
+	if _, err := r.Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized header Read = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestWriterBatchesFlush checks frames accumulate until Flush.
+func TestWriterBatchesFlush(t *testing.T) {
+	var sink countingWriter
+	w := NewWriter(&sink, 0)
+	for i := 0; i < 10; i++ {
+		if err := w.Write(&Msg{Op: OpGet, Key: core.Key(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.writes != 0 {
+		t.Fatalf("frames leaked before Flush: %d writes", sink.writes)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.writes != 1 {
+		t.Fatalf("Flush used %d writes, want 1", sink.writes)
+	}
+	if sink.bytes != 10*(HeaderLen+9) {
+		t.Fatalf("flushed %d bytes, want %d", sink.bytes, 10*(HeaderLen+9))
+	}
+}
+
+type countingWriter struct {
+	writes int
+	bytes  int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.writes++
+	c.bytes += len(p)
+	return len(p), nil
+}
+
+func TestMain(m *testing.M) { os.Exit(m.Run()) }

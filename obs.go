@@ -37,6 +37,10 @@ const (
 	EvCompaction  = obs.EvCompaction
 	EvRCUSwap     = obs.EvRCUSwap
 	EvDriftTrip   = obs.EvDriftTrip
+	EvCheckpoint  = obs.EvCheckpoint
+	EvWALFlush    = obs.EvWALFlush
+	EvRecovery    = obs.EvRecovery
+	EvDrain       = obs.EvDrain
 )
 
 // NewMetrics returns an empty metrics bundle named name (the name labels
