@@ -20,6 +20,9 @@
 //	lixbench -batch 16,256,1024 -shards 8      # batched vs looped ops
 //	                                           # (results merge into an
 //	                                           # existing BENCH_<rev>.json)
+//	lixbench -trace-overhead -quick            # tracing cost off/1%/100%
+//	                                           # vs no tracer; gates the
+//	                                           # disabled-sampling cost <2%
 //
 // Profiling and metrics:
 //
@@ -88,6 +91,8 @@ func main() {
 		pipeline  = flag.Int("pipeline", 32, "loadgen mode: requests per pipelined group")
 		targetQPS = flag.Float64("target-qps", 0, "loadgen mode: open-loop aggregate request rate (0 = closed loop)")
 		duration  = flag.Duration("duration", 5*time.Second, "loadgen mode: measured send window")
+
+		traceOver = flag.Bool("trace-overhead", false, "measure request-tracing overhead (off/1%/100% sampling vs no tracer)")
 	)
 	flag.Parse()
 	if *list {
@@ -100,6 +105,10 @@ func main() {
 	}
 	if *serveAddr != "" {
 		runLoadgen(*serveAddr, *pipeline, *targetQPS, *duration, *concurrency, *n, *seed, *quick, *rev, *benchOut)
+		return
+	}
+	if *traceOver {
+		runTraceOverhead(*pipeline, *duration, *concurrency, *shards, *n, *seed, *quick, *rev, *benchOut)
 		return
 	}
 	if *batch != "" {
@@ -366,6 +375,60 @@ func runLoadgen(addr string, pipeline int, qps float64, dur time.Duration,
 	}
 
 	tables, _, results, err := bench.RunLoadgen(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	if outDir != "" {
+		path := filepath.Join(outDir, "BENCH_"+rev+".json")
+		f := bench.BenchFile{Rev: rev}
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &f); err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+		}
+		f.Rev = rev
+		f.Results = append(f.Results, results...)
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// runTraceOverhead executes the tracing-cost benchmark (lixbench
+// -trace-overhead): the wire workload against in-process servers with
+// no tracer / disabled sampling / 1% / 100%, emitting informational
+// trace/... throughputs plus the gating trace_overhead/off ratio
+// (MaxDrop 2%) that pins the disabled-tracing cost. With -bench-out the
+// results merge into an existing BENCH_<rev>.json like the batch mode.
+func runTraceOverhead(pipeline int, dur time.Duration, conns, shards, n int,
+	seed int64, quick bool, rev, outDir string) {
+
+	cfg := bench.DefaultTraceOverheadConfig()
+	cfg.Pipeline = pipeline
+	cfg.Duration = dur
+	cfg.Seed = seed
+	if quick {
+		cfg.N, cfg.Duration = 100_000, 2*time.Second
+	}
+	if conns > 0 {
+		cfg.Conns = conns
+	}
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	if n > 0 {
+		cfg.N = n
+	}
+
+	tables, results, err := bench.RunTraceOverhead(cfg)
 	if err != nil {
 		fatal(err)
 	}

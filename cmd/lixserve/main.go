@@ -9,16 +9,25 @@
 //	lixserve -addr :7070 -e pgm -shards 8 -n 1000000
 //	lixserve -addr :7070 -dir /var/lib/lix -fsync always
 //
-// SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
-// pipelined groups complete and flush, then connections and the stack
-// close. With -metrics-out the final metrics snapshot is written in
-// Prometheus text format on exit.
+// With -admin-addr set, an out-of-band HTTP admin plane serves
+// /metrics (Prometheus), /healthz, /readyz (503 while draining),
+// /events, /topk and /debug/pprof/* alongside the data plane.
+// Request tracing (-trace-sample, -trace-slow, -topk) samples request
+// groups into per-stage spans feeding the slow-request event log and
+// the hot-key sketch; disabled sampling costs one atomic load per group.
+//
+// SIGINT/SIGTERM trigger a graceful drain: /readyz flips to 503, the
+// listener closes, in-flight pipelined groups complete and flush, then
+// connections and the stack close. With -metrics-out the metrics
+// snapshot is written in Prometheus text format on exit — and, with
+// -metrics-interval, periodically during the run via atomic replacement.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +49,11 @@ func main() {
 		maxFrame   = flag.Int("max-frame", 0, "max frame bytes (0 = default 1MiB)")
 		drainWait  = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget")
 		metricsOut = flag.String("metrics-out", "", "write a Prometheus metrics snapshot here on exit")
+		metricsInt = flag.Duration("metrics-interval", 0, "also rewrite -metrics-out periodically (0 = exit only)")
+		adminAddr  = flag.String("admin-addr", "", "serve the HTTP admin plane (/metrics, /healthz, /readyz, /events, /topk, /debug/pprof) here")
+		traceRate  = flag.Float64("trace-sample", 0.01, "fraction of request groups traced into per-stage spans [0,1]")
+		traceSlow  = flag.Duration("trace-slow", 50*time.Millisecond, "log sampled groups at least this slow to the event log (0 = off)")
+		topK       = flag.Int("topk", 64, "hot-key sketch capacity for /topk (0 = off)")
 		quiet      = flag.Bool("q", false, "suppress startup/shutdown log lines")
 	)
 	flag.Parse()
@@ -77,6 +91,11 @@ func main() {
 		Dir:     *dir,
 		Fsync:   fsync,
 		Metrics: metrics,
+		Trace: &lix.TraceOptions{
+			SampleRate:    *traceRate,
+			SlowThreshold: *traceSlow,
+			TopK:          *topK,
+		},
 	})
 	if err != nil {
 		fail("stack: %v", err)
@@ -88,6 +107,7 @@ func main() {
 		MaxFrame:     *maxFrame,
 		DrainTimeout: *drainWait,
 		Metrics:      metrics,
+		Tracer:       stack.Tracer(),
 		CloseStore:   true,
 	})
 	if err := srv.Start(); err != nil {
@@ -96,6 +116,34 @@ func main() {
 	logf("lixserve: serving %s (kind=%s shards=%d durable=%v) on %s",
 		plural(stack.Len(), "record"), *engine, *shards, *dir != "", srv.Addr())
 
+	// Admin plane: out-of-band HTTP on its own listener so operability
+	// survives data-plane saturation.
+	var admin *http.Server
+	if *adminAddr != "" {
+		admin = &http.Server{
+			Addr: *adminAddr,
+			Handler: lix.NewAdminHandler(lix.AdminConfig{
+				Metrics: []*lix.Metrics{metrics},
+				Tracer:  stack.Tracer(),
+				Ready:   func() bool { return !srv.Draining() },
+			}),
+		}
+		go func() {
+			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "lixserve: admin: %v\n", err)
+			}
+		}()
+		logf("lixserve: admin plane on %s", *adminAddr)
+	}
+
+	// Metrics snapshot file: periodic with -metrics-interval, final on
+	// exit either way.
+	var flusher *lix.MetricsFlusher
+	if *metricsOut != "" {
+		flusher = lix.NewMetricsFlusher(*metricsOut, *metricsInt, metrics)
+		flusher.Start()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
@@ -103,16 +151,12 @@ func main() {
 	if err := srv.Shutdown(); err != nil {
 		fmt.Fprintf(os.Stderr, "lixserve: drain: %v\n", err)
 	}
+	if admin != nil {
+		admin.Close()
+	}
 
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fail("metrics-out: %v", err)
-		}
-		if err := metrics.WritePrometheus(f); err != nil {
-			fail("metrics-out: %v", err)
-		}
-		if err := f.Close(); err != nil {
+	if flusher != nil {
+		if err := flusher.Stop(); err != nil {
 			fail("metrics-out: %v", err)
 		}
 		logf("lixserve: metrics snapshot written to %s", *metricsOut)

@@ -125,8 +125,8 @@ func RunServing(cfg ServingConfig) ([]*Table, []ServingRow, error) {
 	}{{"95/5", 0.95}, {"50/50", 0.50}}
 
 	t := &Table{
-		ID:    "SERVE",
-		Title: fmt.Sprintf("Sharded serving throughput, %d workers, %d shards, n=%d (Mops/s aggregate)", cfg.Workers, cfg.Shards, cfg.N),
+		ID:      "SERVE",
+		Title:   fmt.Sprintf("Sharded serving throughput, %d workers, %d shards, n=%d (Mops/s aggregate)", cfg.Workers, cfg.Shards, cfg.N),
 		Columns: []string{"system", "95/5 Mops", "50/50 Mops"},
 	}
 	var rows []ServingRow
@@ -192,6 +192,13 @@ type BenchResult struct {
 	P50NS  uint64 `json:"p50_ns,omitempty"`
 	P99NS  uint64 `json:"p99_ns,omitempty"`
 	P999NS uint64 `json:"p999_ns,omitempty"`
+
+	// MaxDrop, when positive, overrides the comparison-wide regression
+	// threshold for this result (a fraction: 0.02 fails on a >2% drop).
+	// Ratio-valued results (trace_overhead/off) use it to pin much
+	// tighter bounds than the raw-throughput default. The new run's
+	// value wins over the baseline's.
+	MaxDrop float64 `json:"max_drop,omitempty"`
 }
 
 // BenchFile is the BENCH_<rev>.json document lixbench emits and compares.
@@ -214,9 +221,11 @@ func ServingBenchFile(rev string, cfg ServingConfig, rows []ServingRow) BenchFil
 }
 
 // CompareBenchFiles flags results whose throughput dropped by more than
-// threshold (a fraction, e.g. 0.15 for 15%) between old and new. Results
-// present on only one side are reported informationally, not as
-// regressions. The returned slices are human-readable report lines.
+// threshold (a fraction, e.g. 0.15 for 15%) between old and new. A
+// result carrying its own MaxDrop (on either side; the new run wins)
+// is gated at that tighter bound instead. Results present on only one
+// side are reported informationally, not as regressions. The returned
+// slices are human-readable report lines.
 func CompareBenchFiles(old, new BenchFile, threshold float64) (regressions, notes []string) {
 	oldByName := make(map[string]BenchResult, len(old.Results))
 	for _, r := range old.Results {
@@ -234,9 +243,18 @@ func CompareBenchFiles(old, new BenchFile, threshold float64) (regressions, note
 			notes = append(notes, fmt.Sprintf("%s: baseline is zero, skipping", nr.Name))
 			continue
 		}
+		thr := threshold
+		if nr.MaxDrop > 0 {
+			thr = nr.MaxDrop
+		} else if or.MaxDrop > 0 {
+			thr = or.MaxDrop
+		}
 		change := nr.OpsPerSec/or.OpsPerSec - 1
 		line := fmt.Sprintf("%s: %.3g -> %.3g ops/s (%+.1f%%)", nr.Name, or.OpsPerSec, nr.OpsPerSec, 100*change)
-		if change < -threshold {
+		if thr != threshold {
+			line += fmt.Sprintf(" [max drop %.1f%%]", 100*thr)
+		}
+		if change < -thr {
 			regressions = append(regressions, line)
 		} else {
 			notes = append(notes, line)

@@ -41,8 +41,8 @@ func TestCompareBenchFiles(t *testing.T) {
 		{Name: "serving/95/zero", OpsPerSec: 0},
 	}}
 	cur := BenchFile{Rev: "b", Results: []BenchResult{
-		{Name: "serving/95/x", OpsPerSec: 80},  // -20%: regression at 15%
-		{Name: "serving/95/y", OpsPerSec: 90},  // -10%: within threshold
+		{Name: "serving/95/x", OpsPerSec: 80},   // -20%: regression at 15%
+		{Name: "serving/95/y", OpsPerSec: 90},   // -10%: within threshold
 		{Name: "serving/95/new", OpsPerSec: 10}, // no baseline
 		{Name: "serving/95/zero", OpsPerSec: 10},
 	}}

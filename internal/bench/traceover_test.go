@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCompareMaxDrop pins the per-result threshold override: a result
+// carrying MaxDrop is gated at that bound instead of the comparison-wide
+// threshold, with the new run's value winning over the baseline's.
+func TestCompareMaxDrop(t *testing.T) {
+	base := BenchFile{Rev: "old", Results: []BenchResult{
+		{Name: "trace_overhead/off", OpsPerSec: 1.0, MaxDrop: 0.02},
+		{Name: "serving/95/x", OpsPerSec: 100},
+	}}
+	cases := []struct {
+		name    string
+		results []BenchResult
+		wantReg int
+	}{
+		{"within tight bound", []BenchResult{
+			{Name: "trace_overhead/off", OpsPerSec: 0.99, MaxDrop: 0.02}}, 0},
+		{"past tight bound but under default", []BenchResult{
+			{Name: "trace_overhead/off", OpsPerSec: 0.97, MaxDrop: 0.02}}, 1},
+		{"baseline MaxDrop applies when new run omits it", []BenchResult{
+			{Name: "trace_overhead/off", OpsPerSec: 0.97}}, 1},
+		{"new run loosens the bound", []BenchResult{
+			{Name: "trace_overhead/off", OpsPerSec: 0.90, MaxDrop: 0.5}}, 0},
+		{"default threshold untouched for plain results", []BenchResult{
+			{Name: "serving/95/x", OpsPerSec: 90}}, 0},
+		{"plain result still gated at default", []BenchResult{
+			{Name: "serving/95/x", OpsPerSec: 80}}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cur := BenchFile{Rev: "new", Results: c.results}
+			regs, notes := CompareBenchFiles(base, cur, 0.15)
+			if len(regs) != c.wantReg {
+				t.Fatalf("regressions = %v, want %d (notes: %v)", regs, c.wantReg, notes)
+			}
+			if c.wantReg == 0 && len(c.results) > 0 && c.results[0].MaxDrop > 0 {
+				// The custom bound is surfaced in the report line.
+				found := false
+				for _, n := range notes {
+					if strings.Contains(n, "max drop") {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("notes missing the max-drop annotation: %v", notes)
+				}
+			}
+		})
+	}
+}
+
+// TestRunTraceOverheadSmoke runs the variant harness at a tiny scale:
+// every variant must produce throughput, and the gating ratio entry must
+// be present with its 2% bound. The ratio value itself is not asserted
+// here — short runs are noisy; CI's bench job gates it via -compare at
+// real scale.
+func TestRunTraceOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace overhead smoke skipped in -short")
+	}
+	tables, results, err := RunTraceOverhead(TraceOverheadConfig{
+		N:        20_000,
+		Shards:   2,
+		Conns:    2,
+		Pipeline: 16,
+		Duration: 300 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d, want 1", len(tables))
+	}
+	byName := map[string]BenchResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	for _, name := range []string{"trace/none", "trace/off", "trace/1pct", "trace/100pct"} {
+		r, ok := byName[name]
+		if !ok || r.OpsPerSec <= 0 {
+			t.Errorf("%s = %+v, want positive throughput", name, r)
+		}
+	}
+	gate, ok := byName["trace_overhead/off"]
+	if !ok {
+		t.Fatal("gating trace_overhead/off result missing")
+	}
+	if gate.MaxDrop != 0.02 {
+		t.Errorf("gate MaxDrop = %g, want 0.02", gate.MaxDrop)
+	}
+	if gate.OpsPerSec <= 0 {
+		t.Errorf("gate ratio = %g, want positive", gate.OpsPerSec)
+	}
+}

@@ -29,6 +29,7 @@ const (
 	EvWALFlush
 	EvRecovery
 	EvDrain
+	EvSlowRequest
 	numEventTypes
 )
 
@@ -58,6 +59,8 @@ func (t EventType) String() string {
 		return "recovery"
 	case EvDrain:
 		return "drain"
+	case EvSlowRequest:
+		return "slow_request"
 	default:
 		return fmt.Sprintf("event_%d", uint8(t))
 	}

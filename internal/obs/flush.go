@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flusher periodically renders a metrics snapshot to a file so an
+// exposition dump exists even if the process dies between scrapes (the
+// crash-forensics complement to a live /metrics endpoint). Each flush
+// renders to memory, writes a temp file in the target directory, and
+// renames it over the destination, so readers never observe a torn
+// snapshot. Stop performs one final flush, preserving the old
+// write-once-at-drain behavior when no interval is configured.
+type Flusher struct {
+	path     string
+	interval time.Duration
+	render   func(*bytes.Buffer) error
+
+	flushes atomic.Uint64
+	lastErr atomic.Pointer[error]
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewFlusher returns a Flusher writing render's output to path. An
+// interval <= 0 disables the ticker: only the Stop-time flush runs.
+func NewFlusher(path string, interval time.Duration, render func(*bytes.Buffer) error) *Flusher {
+	return &Flusher{path: path, interval: interval, render: render}
+}
+
+// Start launches the background ticker goroutine (a no-op when the
+// interval is disabled). Calling Start on a running Flusher is a no-op.
+func (f *Flusher) Start() {
+	if f.interval <= 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stop != nil {
+		return
+	}
+	f.stop = make(chan struct{})
+	f.done = make(chan struct{})
+	go f.loop(f.stop, f.done)
+}
+
+func (f *Flusher) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(f.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			f.Flush()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Stop halts the ticker (if running) and performs one final flush,
+// returning its error. Safe to call without a prior Start and safe to
+// call more than once.
+func (f *Flusher) Stop() error {
+	f.mu.Lock()
+	stop, done := f.stop, f.done
+	f.stop, f.done = nil, nil
+	f.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return f.Flush()
+}
+
+// Flush renders and atomically replaces the snapshot file once.
+func (f *Flusher) Flush() error {
+	err := f.flushOnce()
+	if err != nil {
+		f.lastErr.Store(&err)
+	}
+	f.flushes.Add(1)
+	return err
+}
+
+func (f *Flusher) flushOnce() error {
+	var buf bytes.Buffer
+	if err := f.render(&buf); err != nil {
+		return err
+	}
+	dir := filepath.Dir(f.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(f.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), f.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Flushes returns the number of Flush calls completed (ticker or
+// manual), for tests that need to observe the ticker path.
+func (f *Flusher) Flushes() uint64 { return f.flushes.Load() }
+
+// LastErr returns the most recent flush error, or nil.
+func (f *Flusher) LastErr() error {
+	if p := f.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlusherTicker exercises the periodic path: with a short interval
+// the snapshot file must appear and be rewritten while the process runs
+// (the crash-forensics property), and each observed content must be a
+// complete render, never a torn prefix.
+func TestFlusherTicker(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.prom")
+	m := NewMetrics("tick")
+	f := NewFlusher(path, 2*time.Millisecond, func(b *bytes.Buffer) error {
+		return m.WritePrometheus(b)
+	})
+	f.Start()
+	f.Start() // double Start must be a no-op, not a second goroutine
+
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Flushes() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker produced %d flushes in 5s, want >= 3", f.Flushes())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot missing while running: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "# TYPE lix_lookups_total counter") ||
+		!strings.Contains(string(data), `type="slow_request"`) {
+		t.Fatalf("snapshot not a complete render:\n%s", data)
+	}
+
+	m.Lookups.Add(41)
+	if err := f.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot missing after Stop: %v", err)
+	}
+	if !strings.Contains(string(data), `lix_lookups_total{index="tick"} 41`) {
+		t.Fatalf("final flush stale, missing lookups=41:\n%s", data)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+	if err := f.LastErr(); err != nil {
+		t.Fatalf("LastErr = %v, want nil", err)
+	}
+
+	// No ticker goroutine may write after Stop returned.
+	after := f.Flushes()
+	time.Sleep(20 * time.Millisecond)
+	if got := f.Flushes(); got != after {
+		t.Fatalf("flushes advanced after Stop: %d -> %d", after, got)
+	}
+}
+
+// TestFlusherNoInterval pins the legacy behavior: interval 0 means no
+// goroutine, no file until Stop, then exactly one write.
+func TestFlusherNoInterval(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "once.prom")
+	m := NewMetrics("once")
+	f := NewFlusher(path, 0, func(b *bytes.Buffer) error {
+		return m.WritePrometheus(b)
+	})
+	f.Start()
+	time.Sleep(5 * time.Millisecond)
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file exists before Stop with interval 0 (err=%v)", err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("file missing after Stop: %v", err)
+	}
+	if got := f.Flushes(); got != 1 {
+		t.Fatalf("Flushes() = %d, want 1", got)
+	}
+}
+
+// TestFlusherRenderError propagates renderer failures and leaves no temp
+// litter behind.
+func TestFlusherRenderError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.prom")
+	boom := errors.New("render boom")
+	f := NewFlusher(path, 0, func(*bytes.Buffer) error { return boom })
+	if err := f.Stop(); !errors.Is(err, boom) {
+		t.Fatalf("Stop err = %v, want %v", err, boom)
+	}
+	if !errors.Is(f.LastErr(), boom) {
+		t.Fatalf("LastErr = %v, want %v", f.LastErr(), boom)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("temp litter after failed flush: %v", ents)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -52,6 +53,15 @@ type Metrics struct {
 	// FsyncNS is the WAL fsync-latency histogram in nanoseconds, fed by
 	// the durable storage layer's group commits.
 	FsyncNS Histogram
+
+	// Per-stage request-span histograms in nanoseconds, fed by
+	// internal/trace for sampled serving request groups: frame parse
+	// time, group dispatch (covers the store calls), in-memory index
+	// work, and WAL append. Fsync time appears in FsyncNS above.
+	DecodeNS   Histogram
+	DispatchNS Histogram
+	ShardNS    Histogram
+	WalNS      Histogram
 
 	// Serving front-end instrumentation, maintained by internal/serve:
 	// Requests counts frames received, Errors counts error replies sent
@@ -215,6 +225,7 @@ var histNames = []string{
 	"get_ns", "insert_ns", "delete_ns", "range_ns",
 	"range_len", "batch_ns", "batch_len", "search_probes", "search_window", "fsync_ns",
 	"group_len",
+	"decode_ns", "dispatch_ns", "shard_ns", "wal_ns",
 }
 
 // gaugeNames fixes the rendering order of the gauge set.
@@ -276,6 +287,14 @@ func (m *Metrics) histogram(name string) *Histogram {
 		return &m.FsyncNS
 	case "group_len":
 		return &m.GroupLen
+	case "decode_ns":
+		return &m.DecodeNS
+	case "dispatch_ns":
+		return &m.DispatchNS
+	case "shard_ns":
+		return &m.ShardNS
+	case "wal_ns":
+		return &m.WalNS
 	}
 	return nil
 }
@@ -322,27 +341,85 @@ func (m *Metrics) PublishExpvar(name string) error {
 // Prometheus text rendering (no external dependencies)
 // ---------------------------------------------------------------------------
 
+// escapeLabelValue renders s as a quoted Prometheus label value. The
+// exposition format defines exactly three escapes inside label values —
+// backslash, double quote, and line feed — and every other byte is
+// literal. Go's %q is NOT equivalent: it escapes tabs, control bytes and
+// non-ASCII runes as \t/\xNN/\uNNNN, sequences the exposition parser
+// rejects or misreads, which is why this hand-rolled escaper exists.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return `"` + s + `"`
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// escapeMetricName coerces a bundle-derived metric-name fragment to the
+// [a-zA-Z0-9_:] alphabet the exposition format allows in metric names,
+// replacing every other byte with '_'.
+func escapeMetricName(s string) string {
+	ok := func(c byte) bool {
+		return c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	}
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if !ok(s[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	out := []byte(s)
+	for i, c := range out {
+		if !ok(c) {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
 // WritePrometheus renders the bundle in the Prometheus text exposition
 // format: counters as lix_<name>_total, histograms as classic cumulative
 // lix_<name>{le=...} series, events as lix_events_total{type=...}. All
 // series carry an index="<Name>" label so several bundles can be scraped
 // from one endpoint.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
-	lbl := fmt.Sprintf("index=%q", m.Name)
+	lbl := "index=" + escapeLabelValue(m.Name)
 	for _, n := range counterNames {
+		en := escapeMetricName(n)
 		if _, err := fmt.Fprintf(w, "# TYPE lix_%s_total counter\nlix_%s_total{%s} %d\n",
-			n, n, lbl, m.counter(n).Load()); err != nil {
+			en, en, lbl, m.counter(n).Load()); err != nil {
 			return err
 		}
 	}
 	for _, n := range gaugeNames {
+		en := escapeMetricName(n)
 		if _, err := fmt.Fprintf(w, "# TYPE lix_%s gauge\nlix_%s{%s} %d\n",
-			n, n, lbl, m.gauge(n).Load()); err != nil {
+			en, en, lbl, m.gauge(n).Load()); err != nil {
 			return err
 		}
 	}
 	for _, n := range histNames {
-		if err := writePromHistogram(w, "lix_"+n, lbl, m.histogram(n).Snapshot()); err != nil {
+		if err := writePromHistogram(w, "lix_"+escapeMetricName(n), lbl, m.histogram(n).Snapshot()); err != nil {
 			return err
 		}
 	}
@@ -350,8 +427,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	for _, t := range EventTypes() {
-		if _, err := fmt.Fprintf(w, "lix_events_total{%s,type=%q} %d\n",
-			lbl, t.String(), m.Events.Count(t)); err != nil {
+		if _, err := fmt.Fprintf(w, "lix_events_total{%s,type=%s} %d\n",
+			lbl, escapeLabelValue(t.String()), m.Events.Count(t)); err != nil {
 			return err
 		}
 	}

@@ -317,6 +317,10 @@ lix_get_ns_count{index="t"} 2
 		emptyHist("lix_search_window") +
 		emptyHist("lix_fsync_ns") +
 		emptyHist("lix_group_len") +
+		emptyHist("lix_decode_ns") +
+		emptyHist("lix_dispatch_ns") +
+		emptyHist("lix_shard_ns") +
+		emptyHist("lix_wal_ns") +
 		`# TYPE lix_events_total counter
 lix_events_total{index="t",type="retrain"} 1
 lix_events_total{index="t",type="node_split"} 0
@@ -329,6 +333,7 @@ lix_events_total{index="t",type="checkpoint"} 0
 lix_events_total{index="t",type="wal_flush"} 0
 lix_events_total{index="t",type="recovery"} 0
 lix_events_total{index="t",type="drain"} 0
+lix_events_total{index="t",type="slow_request"} 0
 `
 	if got := b.String(); got != golden {
 		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
@@ -354,7 +359,7 @@ func TestWritePrometheusAll(t *testing.T) {
 func TestEventTypeStrings(t *testing.T) {
 	want := []string{"retrain", "node_split", "buffer_flush", "buffer_merge",
 		"compaction", "rcu_swap", "drift_trip", "checkpoint", "wal_flush", "recovery",
-		"drain"}
+		"drain", "slow_request"}
 	types := EventTypes()
 	if len(types) != len(want) {
 		t.Fatalf("EventTypes() has %d entries, want %d", len(types), len(want))

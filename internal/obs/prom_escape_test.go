@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestEscapeLabelValue pins the exposition-format label escaping rules:
+// exactly backslash, double quote and line feed are escaped; every other
+// byte — tabs, control bytes, UTF-8 — passes through literally (where
+// Go's %q would mangle them into \t/\xNN/\uNNNN sequences the Prometheus
+// parser rejects).
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{``, `""`},
+		{`plain`, `"plain"`},
+		{`has"quote`, `"has\"quote"`},
+		{`back\slash`, `"back\\slash"`},
+		{"new\nline", `"new\nline"`},
+		{`\"`, `"\\\""`},
+		{"a\tb", "\"a\tb\""},       // tab stays literal
+		{"µs", `"µs"`},             // UTF-8 stays literal
+		{"\x01", "\"\x01\""},       // control bytes stay literal
+		{"x\\\n\"y", `"x\\\n\"y"`}, // all three escapes adjacent
+		{`C:\dir\file`, `"C:\\dir\\file"`},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapeMetricName(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"get_ns", "get_ns"},
+		{"a:b_C9", "a:b_C9"},
+		{"weird name", "weird_name"},
+		{"ns/op", "ns_op"},
+		{"quote\"back\\nl\n", "quote_back_nl_"},
+	}
+	for _, c := range cases {
+		if got := escapeMetricName(c.in); got != c.want {
+			t.Errorf("escapeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestWritePrometheusEscaping feeds bundle names containing every
+// character the format treats specially through the full renderers and
+// checks each emitted line is valid exposition format: the index label
+// must round-trip as an escaped value, and no raw newline may survive
+// inside a label value.
+func TestWritePrometheusEscaping(t *testing.T) {
+	cases := []struct {
+		name     string
+		wantOnce string
+	}{
+		{`idx"quoted`, `index="idx\"quoted"`},
+		{`idx\back`, `index="idx\\back"`},
+		{"idx\nline", `index="idx\nline"`},
+		{"idx\"\\\n", `index="idx\"\\\n"`},
+	}
+	for _, c := range cases {
+		m := NewMetrics(c.name)
+		m.Lookups.Inc()
+		m.GetNS.Observe(7)
+		m.Events.Publish(Event{Type: EvRetrain})
+		var b strings.Builder
+		if err := m.WritePrometheus(&b); err != nil {
+			t.Fatalf("WritePrometheus(%q): %v", c.name, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, c.wantOnce) {
+			t.Errorf("output for %q missing escaped label %s", c.name, c.wantOnce)
+		}
+		for i, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+			if err := checkExpositionLine(line); err != nil {
+				t.Errorf("bundle %q line %d %q: %v", c.name, i+1, line, err)
+			}
+		}
+	}
+}
+
+// checkExpositionLine is a strict syntax check for one line of the text
+// exposition format: comment lines pass through; sample lines must be
+// name{labels} value with a [a-zA-Z_:][a-zA-Z0-9_:]* metric name and
+// properly quoted/escaped label values.
+func checkExpositionLine(line string) error {
+	if strings.HasPrefix(line, "#") {
+		return nil
+	}
+	brace := strings.IndexByte(line, '{')
+	if brace <= 0 {
+		return errf("no label block in %q", line)
+	}
+	name := line[:brace]
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return errf("bad metric name byte %q", c)
+		}
+	}
+	rest := line[brace+1:]
+	// Walk label pairs: name="value" with \\ \" \n escapes, separated by
+	// commas, closed by }, then a space and the sample value.
+	for {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 1 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return errf("bad label pair start in %q", rest)
+		}
+		i := eq + 2
+		for {
+			if i >= len(rest) {
+				return errf("unterminated label value in %q", rest)
+			}
+			if rest[i] == '\n' {
+				return errf("raw newline in label value")
+			}
+			if rest[i] == '\\' {
+				if i+1 >= len(rest) || !strings.ContainsRune(`\"n`, rune(rest[i+1])) {
+					return errf("invalid escape in %q", rest)
+				}
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		i++ // past closing quote
+		if i < len(rest) && rest[i] == ',' {
+			rest = rest[i+1:]
+			continue
+		}
+		if i < len(rest) && rest[i] == '}' {
+			tail := rest[i+1:]
+			if !strings.HasPrefix(tail, " ") || len(strings.TrimSpace(tail)) == 0 {
+				return errf("missing sample value after %q", rest)
+			}
+			return nil
+		}
+		return errf("expected , or } after label value in %q", rest)
+	}
+}
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf("exposition: "+format, args...)
+}

@@ -33,6 +33,7 @@ import (
 
 	"github.com/lix-go/lix/internal/core"
 	"github.com/lix-go/lix/internal/obs"
+	"github.com/lix-go/lix/internal/trace"
 	"github.com/lix-go/lix/internal/wire"
 )
 
@@ -81,6 +82,12 @@ type Config struct {
 	// Conns gauge, Requests/Errors/Groups counters, GroupLen and per-op
 	// latency histograms, and the EvDrain event.
 	Metrics *obs.Metrics
+	// Tracer, when set, samples request groups into per-stage spans
+	// (decode → dispatch → shard → wal → fsync), feeds the slow-request
+	// event log, and — when its hot-key sketch is enabled — counts every
+	// read-path key. Nil disables tracing at zero cost; a tracer with
+	// rate 0 costs one atomic load per group.
+	Tracer *trace.Tracer
 	// CloseStore makes Shutdown close the store (when it implements
 	// io.Closer) after the drain completes.
 	CloseStore bool
@@ -162,6 +169,11 @@ func (s *Server) Start() error {
 	return nil
 }
 
+// Draining reports whether Shutdown has begun. The admin plane's
+// /readyz endpoint keys off it: a draining server still completes
+// in-flight pipelined groups but should receive no new traffic.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Addr returns the bound listen address (nil before Start).
 func (s *Server) Addr() net.Addr {
 	if s.ln == nil {
@@ -241,6 +253,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := wire.NewReader(conn, s.cfg.MaxFrame)
 	w := wire.NewWriter(conn, s.cfg.MaxFrame)
 	group := make([]wire.Msg, 0, 64)
+	tr := s.cfg.Tracer
 
 	for {
 		// Deadline first, drain check second: Shutdown sets draining and
@@ -253,6 +266,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.draining.Load() {
 			return
 		}
+		// One atomic load per group decides whether this iteration pays
+		// for decode timing; the sampling decision itself waits until the
+		// group size is known.
+		traceOn := tr.Enabled()
+		r.SetTiming(traceOn)
 		first, err := r.Read()
 		if err != nil {
 			// EOF and drain wake-ups end the connection quietly; protocol
@@ -279,7 +297,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			group = append(group, m)
 		}
 
-		s.dispatch(group, w)
+		var sp *trace.Span
+		if traceOn {
+			sp = tr.Start(len(group))
+			// The reader accumulated parse time while the group was
+			// drained — before the span existed; Total() adds it back.
+			// Drained unconditionally so an unsampled group's parse time
+			// cannot leak into the next sampled one.
+			sp.Add(trace.StageDecode, time.Duration(r.TakeDecodeNS()))
+		}
+
+		s.dispatch(group, w, sp)
 
 		if s.cfg.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
@@ -288,7 +316,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.countError()
 			w.Write(&wire.Msg{Op: wire.RErr, Err: groupErr.Error()})
 		}
-		if err := w.Flush(); err != nil || groupErr != nil {
+		ferr := w.Flush()
+		// Finish after the flush so the span's total covers reply
+		// delivery, where a slow client shows up.
+		tr.Finish(sp)
+		if ferr != nil || groupErr != nil {
 			return
 		}
 	}
@@ -336,13 +368,20 @@ func classify(op wire.Op) runKind {
 
 // dispatch serves one pipelined group: it slices the group into maximal
 // runs of batchable ops, dispatches each run through the store's batch
-// capabilities, and writes one reply per request in request order.
-func (s *Server) dispatch(group []wire.Msg, w *wire.Writer) {
+// capabilities, and writes one reply per request in request order. A
+// non-nil span times the whole body as the dispatch stage; the store
+// stages (shard/wal/fsync) nest inside it via the trace batch helpers.
+func (s *Server) dispatch(group []wire.Msg, w *wire.Writer, sp *trace.Span) {
 	m := s.cfg.Metrics
 	if m != nil {
 		m.Groups.Inc()
 		m.GroupLen.Observe(uint64(len(group)))
 		m.Requests.Add(uint64(len(group)))
+	}
+	var dispatchStart time.Time
+	if sp != nil {
+		dispatchStart = time.Now()
+		defer func() { sp.Add(trace.StageDispatch, time.Since(dispatchStart)) }()
 	}
 	for i := 0; i < len(group); {
 		kind := classify(group[i].Op)
@@ -354,13 +393,13 @@ func (s *Server) dispatch(group []wire.Msg, w *wire.Writer) {
 		start := time.Now()
 		switch kind {
 		case runRead:
-			s.serveReads(run, w)
+			s.serveReads(run, w, sp)
 		case runWrite:
-			s.serveWrites(run, w)
+			s.serveWrites(run, w, sp)
 		case runDel:
-			s.serveDeletes(run, w)
+			s.serveDeletes(run, w, sp)
 		default:
-			s.serveSolo(&run[0], w)
+			s.serveSolo(&run[0], w, sp)
 		}
 		if m != nil {
 			// Attribute the run's latency to each request in it, into the
@@ -386,9 +425,17 @@ func (s *Server) dispatch(group []wire.Msg, w *wire.Writer) {
 }
 
 // serveReads answers a run of GET/MGET frames with one LookupBatch.
-func (s *Server) serveReads(run []wire.Msg, w *wire.Writer) {
-	if len(run) == 1 && run[0].Op == wire.OpGet {
-		// Solo point read: skip batch assembly.
+// Hot-key telemetry counts every key here at full rate — the sketch is
+// independent of span sampling, since a 1% sample would take ~100×
+// longer to surface a hot key.
+func (s *Server) serveReads(run []wire.Msg, w *wire.Writer, sp *trace.Span) {
+	hot := s.cfg.Tracer.HotKeys()
+	if sp == nil && len(run) == 1 && run[0].Op == wire.OpGet {
+		// Solo point read: skip batch assembly. (A sampled group takes
+		// the batch path below so the store can attribute its stages.)
+		if hot {
+			s.cfg.Tracer.TouchKey(run[0].Key)
+		}
 		v, ok := s.store.Get(run[0].Key)
 		s.writeGetReply(w, v, ok)
 		return
@@ -409,7 +456,10 @@ func (s *Server) serveReads(run []wire.Msg, w *wire.Writer) {
 			keys = append(keys, run[i].Keys...)
 		}
 	}
-	vals, oks := core.LookupBatch(s.store, keys)
+	if hot {
+		s.cfg.Tracer.TouchKeys(keys)
+	}
+	vals, oks := trace.LookupBatch(s.store, keys, sp)
 	// Split the flat answers back into one reply per request frame.
 	off := 0
 	for i := range run {
@@ -435,8 +485,8 @@ func (s *Server) writeGetReply(w *wire.Writer, v core.Value, ok bool) {
 // serveWrites applies a run of SET/MSET frames with one InsertBatch.
 // Flattening in request order makes InsertBatch's later-wins semantics
 // exactly the sequential pipelined outcome.
-func (s *Server) serveWrites(run []wire.Msg, w *wire.Writer) {
-	if len(run) == 1 && run[0].Op == wire.OpSet {
+func (s *Server) serveWrites(run []wire.Msg, w *wire.Writer, sp *trace.Span) {
+	if sp == nil && len(run) == 1 && run[0].Op == wire.OpSet {
 		s.store.Insert(run[0].Key, run[0].Val)
 		w.Write(&wire.Msg{Op: wire.ROK})
 		return
@@ -457,7 +507,7 @@ func (s *Server) serveWrites(run []wire.Msg, w *wire.Writer) {
 			recs = append(recs, run[i].Recs...)
 		}
 	}
-	core.InsertBatch(s.store, recs)
+	trace.InsertBatch(s.store, recs, sp)
 	for range run {
 		w.Write(&wire.Msg{Op: wire.ROK})
 	}
@@ -465,8 +515,8 @@ func (s *Server) serveWrites(run []wire.Msg, w *wire.Writer) {
 
 // serveDeletes applies a run of DEL frames with one DeleteBatch.
 // First-wins per-key liveness is exactly the sequential outcome.
-func (s *Server) serveDeletes(run []wire.Msg, w *wire.Writer) {
-	if len(run) == 1 {
+func (s *Server) serveDeletes(run []wire.Msg, w *wire.Writer, sp *trace.Span) {
+	if sp == nil && len(run) == 1 {
 		ok := s.store.Delete(run[0].Key)
 		w.Write(&wire.Msg{Op: wire.RBool, Ok: ok})
 		return
@@ -475,14 +525,14 @@ func (s *Server) serveDeletes(run []wire.Msg, w *wire.Writer) {
 	for i := range run {
 		keys[i] = run[i].Key
 	}
-	oks := core.DeleteBatch(s.store, keys)
+	oks := trace.DeleteBatch(s.store, keys, sp)
 	for _, ok := range oks {
 		w.Write(&wire.Msg{Op: wire.RBool, Ok: ok})
 	}
 }
 
 // serveSolo answers the non-batchable opcodes.
-func (s *Server) serveSolo(m *wire.Msg, w *wire.Writer) {
+func (s *Server) serveSolo(m *wire.Msg, w *wire.Writer, sp *trace.Span) {
 	switch m.Op {
 	case wire.OpPing:
 		w.Write(&wire.Msg{Op: wire.ROK})
@@ -493,11 +543,18 @@ func (s *Server) serveSolo(m *wire.Msg, w *wire.Writer) {
 		}
 		var recs []core.KV
 		if m.Lo <= m.Hi {
+			var scanStart time.Time
+			if sp != nil {
+				scanStart = time.Now()
+			}
 			recs = make([]core.KV, 0, 16)
 			s.store.Range(m.Lo, m.Hi, func(k core.Key, v core.Value) bool {
 				recs = append(recs, core.KV{Key: k, Value: v})
 				return len(recs) < limit
 			})
+			if sp != nil {
+				sp.Add(trace.StageShard, time.Since(scanStart))
+			}
 		}
 		w.Write(&wire.Msg{Op: wire.RKVs, Recs: recs})
 	default:

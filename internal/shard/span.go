@@ -1,0 +1,51 @@
+package shard
+
+import (
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/trace"
+)
+
+// Span-aware batch capabilities: when a Sharded is the top of the store
+// stack (no durable layer above it), the serving tracer routes sampled
+// batches here so the whole cross-shard fan-out is attributed to the
+// shard stage. The durable layer does NOT forward spans down to this
+// level — it times its in-memory apply itself — so shard time is never
+// double-counted.
+
+// LookupBatchSpan times the cross-shard batched lookup into sp's shard
+// stage.
+func (s *Sharded) LookupBatchSpan(keys []core.Key, sp *trace.Span) ([]core.Value, []bool) {
+	if sp == nil {
+		return s.LookupBatch(keys)
+	}
+	t0 := time.Now()
+	vals, oks := s.LookupBatch(keys)
+	sp.Add(trace.StageShard, time.Since(t0))
+	return vals, oks
+}
+
+// InsertBatchSpan times the cross-shard batched insert into sp's shard
+// stage.
+func (s *Sharded) InsertBatchSpan(recs []core.KV, sp *trace.Span) {
+	if sp == nil {
+		s.InsertBatch(recs)
+		return
+	}
+	t0 := time.Now()
+	s.InsertBatch(recs)
+	sp.Add(trace.StageShard, time.Since(t0))
+}
+
+// DeleteBatchSpan times the cross-shard batched delete into sp's shard
+// stage.
+func (s *Sharded) DeleteBatchSpan(keys []core.Key, sp *trace.Span) []bool {
+	if sp == nil {
+		return s.DeleteBatch(keys)
+	}
+	t0 := time.Now()
+	oks := s.DeleteBatch(keys)
+	sp.Add(trace.StageShard, time.Since(t0))
+	return oks
+}

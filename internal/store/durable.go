@@ -12,6 +12,7 @@ import (
 
 	"github.com/lix-go/lix/internal/core"
 	"github.com/lix-go/lix/internal/obs"
+	"github.com/lix-go/lix/internal/trace"
 )
 
 // DefaultCheckpointEvery is the WAL record count between automatic
@@ -76,7 +77,7 @@ type Durable struct {
 	batchInsert core.BatchInserter
 	batchDelete core.BatchDeleter
 	route       Router
-	segments int
+	segments    int
 	// concReads: the wrapped index tolerates reads concurrent with writes,
 	// so readers skip the per-segment lock.
 	concReads bool
@@ -610,6 +611,19 @@ func (d *Durable) LookupBatch(keys []core.Key) ([]core.Value, []bool) {
 	return vals, oks
 }
 
+// LookupBatchSpan is the span-aware read path: the durable layer adds no
+// stages of its own on reads (no WAL, no fsync), so the whole in-memory
+// batch is attributed to the shard stage.
+func (d *Durable) LookupBatchSpan(keys []core.Key, sp *trace.Span) ([]core.Value, []bool) {
+	if sp == nil {
+		return d.LookupBatch(keys)
+	}
+	t0 := time.Now()
+	vals, oks := d.LookupBatch(keys)
+	sp.Add(trace.StageShard, time.Since(t0))
+	return vals, oks
+}
+
 // ---------------------------------------------------------------------------
 // Writes
 // ---------------------------------------------------------------------------
@@ -691,7 +705,16 @@ func (d *Durable) Delete(k core.Key) bool {
 // each group is framed as one contiguous append and applied under its
 // segment lock (groups proceed in parallel), then each touched segment
 // is group-committed once under SyncAlways.
-func (d *Durable) InsertBatch(recs []core.KV) {
+func (d *Durable) InsertBatch(recs []core.KV) { d.insertBatch(recs, nil) }
+
+// InsertBatchSpan is InsertBatch with per-stage attribution: WAL frame
+// encode+append time lands in the wal stage, the in-memory apply in the
+// shard stage, and the group commit in the fsync stage. Because segment
+// groups run in parallel, each stage is the *summed* time across
+// segments and may exceed the batch's wall time.
+func (d *Durable) InsertBatchSpan(recs []core.KV, sp *trace.Span) { d.insertBatch(recs, sp) }
+
+func (d *Durable) insertBatch(recs []core.KV, sp *trace.Span) {
 	if len(recs) == 0 || d.Err() != nil {
 		return
 	}
@@ -709,18 +732,32 @@ func (d *Durable) InsertBatch(recs []core.KV) {
 			defer wg.Done()
 			w := d.wals[seg]
 			d.segMu[seg].Lock()
+			var walStart time.Time
+			if sp != nil {
+				walStart = time.Now()
+			}
 			wrecs := make([]Record, len(group))
 			for i, r := range group {
 				wrecs[i] = Record{Seq: d.seq.Add(1), Op: OpInsert, Key: r.Key, Val: r.Value}
 			}
 			off, err := w.Append(wrecs...)
+			if sp != nil {
+				sp.Add(trace.StageWAL, time.Since(walStart))
+			}
 			if err == nil {
+				var applyStart time.Time
+				if sp != nil {
+					applyStart = time.Now()
+				}
 				if d.batchInsert != nil {
 					d.batchInsert.InsertBatch(group)
 				} else {
 					for _, r := range group {
 						d.ix.Insert(r.Key, r.Value)
 					}
+				}
+				if sp != nil {
+					sp.Add(trace.StageShard, time.Since(applyStart))
 				}
 				offs[seg] = off
 			} else {
@@ -731,12 +768,19 @@ func (d *Durable) InsertBatch(recs []core.KV) {
 	}
 	wg.Wait()
 	if d.cfg.Fsync == SyncAlways {
+		var fsyncStart time.Time
+		if sp != nil {
+			fsyncStart = time.Now()
+		}
 		for seg := range groups {
 			if offs[seg] > 0 {
 				if err := d.wals[seg].SyncTo(offs[seg]); err != nil {
 					d.fail(err)
 				}
 			}
+		}
+		if sp != nil {
+			sp.Add(trace.StageFsync, time.Since(fsyncStart))
 		}
 	}
 	d.stateMu.RUnlock()
@@ -748,7 +792,15 @@ func (d *Durable) InsertBatch(recs []core.KV) {
 // one group-committed fsync under SyncAlways. oks[i] reports whether
 // keys[i] was present, with sequential (first-wins on duplicates)
 // semantics inside the batch.
-func (d *Durable) DeleteBatch(keys []core.Key) []bool {
+func (d *Durable) DeleteBatch(keys []core.Key) []bool { return d.deleteBatch(keys, nil) }
+
+// DeleteBatchSpan is DeleteBatch with per-stage attribution; see
+// InsertBatchSpan for the stage semantics.
+func (d *Durable) DeleteBatchSpan(keys []core.Key, sp *trace.Span) []bool {
+	return d.deleteBatch(keys, sp)
+}
+
+func (d *Durable) deleteBatch(keys []core.Key, sp *trace.Span) []bool {
 	oks := make([]bool, len(keys))
 	if len(keys) == 0 || d.Err() != nil {
 		return oks
@@ -767,12 +819,23 @@ func (d *Durable) DeleteBatch(keys []core.Key) []bool {
 			defer wg.Done()
 			w := d.wals[seg]
 			d.segMu[seg].Lock()
+			var walStart time.Time
+			if sp != nil {
+				walStart = time.Now()
+			}
 			wrecs := make([]Record, len(idxs))
 			for j, i := range idxs {
 				wrecs[j] = Record{Seq: d.seq.Add(1), Op: OpDelete, Key: keys[i]}
 			}
 			off, err := w.Append(wrecs...)
+			if sp != nil {
+				sp.Add(trace.StageWAL, time.Since(walStart))
+			}
 			if err == nil {
+				var applyStart time.Time
+				if sp != nil {
+					applyStart = time.Now()
+				}
 				if d.batchDelete != nil {
 					group := make([]core.Key, len(idxs))
 					for j, i := range idxs {
@@ -786,6 +849,9 @@ func (d *Durable) DeleteBatch(keys []core.Key) []bool {
 						oks[i] = d.ix.Delete(keys[i])
 					}
 				}
+				if sp != nil {
+					sp.Add(trace.StageShard, time.Since(applyStart))
+				}
 				offs[seg] = off
 			} else {
 				d.fail(err)
@@ -795,12 +861,19 @@ func (d *Durable) DeleteBatch(keys []core.Key) []bool {
 	}
 	wg.Wait()
 	if d.cfg.Fsync == SyncAlways {
+		var fsyncStart time.Time
+		if sp != nil {
+			fsyncStart = time.Now()
+		}
 		for seg := range groups {
 			if offs[seg] > 0 {
 				if err := d.wals[seg].SyncTo(offs[seg]); err != nil {
 					d.fail(err)
 				}
 			}
+		}
+		if sp != nil {
+			sp.Add(trace.StageFsync, time.Since(fsyncStart))
 		}
 	}
 	d.stateMu.RUnlock()

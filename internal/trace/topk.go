@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopK is a sharded SpaceSaving heavy-hitter sketch (Metwally et al.,
+// "Efficient Computation of Frequent and Top-k Elements in Data
+// Streams"): bounded memory, one map probe per update, and for every
+// tracked key the guarantee
+//
+//	count - err <= true frequency <= count
+//
+// so callers can tell a certain heavy hitter (count-err high) from a
+// recent arrival riding an evicted slot's inherited count. The sketch is
+// sharded by key hash to keep the read-path update from serializing: each
+// shard is an independent SpaceSaving instance of the configured
+// capacity, and Top merges across shards. Per-shard capacity means a key
+// set smaller than capacity per shard is counted exactly (err 0).
+type TopK struct {
+	shards [topkShards]tkShard
+}
+
+const topkShards = 8
+
+type tkShard struct {
+	mu   sync.Mutex
+	cap  int
+	idx  map[uint64]int // key -> position in ents
+	ents []tkEnt
+}
+
+type tkEnt struct {
+	key   uint64
+	count uint64
+	err   uint64
+}
+
+// KeyCount is one hot-key estimate: Count-Err <= true count <= Count.
+type KeyCount struct {
+	Key   uint64 `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err"`
+}
+
+// NewTopK returns a sketch that tracks up to capacity keys per hash
+// shard (capacity is clamped to at least 1).
+func NewTopK(capacity int) *TopK {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &TopK{}
+	for i := range t.shards {
+		t.shards[i].cap = capacity
+		t.shards[i].idx = make(map[uint64]int, capacity)
+	}
+	return t
+}
+
+// Touch records one occurrence of key.
+func (t *TopK) Touch(key uint64) {
+	// Fibonacci hashing spreads dense sequential key ranges — the common
+	// case for this codebase's uint64 keys — evenly across shards.
+	s := &t.shards[(key*0x9E3779B97F4A7C15)>>61]
+	s.mu.Lock()
+	if i, ok := s.idx[key]; ok {
+		s.ents[i].count++
+		s.mu.Unlock()
+		return
+	}
+	if len(s.ents) < s.cap {
+		s.idx[key] = len(s.ents)
+		s.ents = append(s.ents, tkEnt{key: key, count: 1})
+		s.mu.Unlock()
+		return
+	}
+	// Evict the minimum-count entry; the newcomer inherits its count (it
+	// could have occurred up to min times while untracked), with the
+	// inherited amount recorded as the estimate's error bound.
+	min := 0
+	for i := 1; i < len(s.ents); i++ {
+		if s.ents[i].count < s.ents[min].count {
+			min = i
+		}
+	}
+	old := s.ents[min]
+	delete(s.idx, old.key)
+	s.ents[min] = tkEnt{key: key, count: old.count + 1, err: old.count}
+	s.idx[key] = min
+	s.mu.Unlock()
+}
+
+// Top returns up to n entries across all shards, ordered by estimated
+// count descending (ties broken by key for determinism).
+func (t *TopK) Top(n int) []KeyCount {
+	if n <= 0 {
+		return nil
+	}
+	var out []KeyCount
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, e := range s.ents {
+			out = append(out, KeyCount{Key: e.key, Count: e.count, Err: e.err})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Key < out[b].Key
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

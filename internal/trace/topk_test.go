@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestTopKExactUnderCapacity: while the tracked key set fits, counts are
+// exact and err is 0.
+func TestTopKExactUnderCapacity(t *testing.T) {
+	tk := NewTopK(16)
+	for k := uint64(1); k <= 10; k++ {
+		for i := uint64(0); i < k; i++ {
+			tk.Touch(k)
+		}
+	}
+	top := tk.Top(100)
+	if len(top) != 10 {
+		t.Fatalf("Top returned %d entries, want 10", len(top))
+	}
+	for i, e := range top {
+		wantKey := uint64(10 - i)
+		if e.Key != wantKey || e.Count != wantKey || e.Err != 0 {
+			t.Fatalf("top[%d] = %+v, want key=count=%d err=0", i, e, wantKey)
+		}
+	}
+	if got := tk.Top(3); len(got) != 3 || got[0].Key != 10 {
+		t.Fatalf("Top(3) = %+v", got)
+	}
+	if tk.Top(0) != nil || tk.Top(-1) != nil {
+		t.Fatal("Top(<=0) must return nil")
+	}
+}
+
+// TestTopKHeavyHitter: under eviction pressure from a long tail, the
+// heavy hitters must survive with their SpaceSaving error bound intact:
+// count-err <= true <= count.
+func TestTopKHeavyHitter(t *testing.T) {
+	tk := NewTopK(8) // 8 per shard, 64 tracked total, against 100k distinct tail keys
+	rng := rand.New(rand.NewSource(1))
+	truth := map[uint64]uint64{}
+	const heavyA, heavyB = 3, 11
+	for i := 0; i < 200000; i++ {
+		var k uint64
+		switch {
+		case rng.Intn(10) < 3:
+			k = heavyA
+		case rng.Intn(10) < 2:
+			k = heavyB
+		default:
+			k = 1000 + uint64(rng.Intn(100000))
+		}
+		truth[k]++
+		tk.Touch(k)
+	}
+	top := tk.Top(4)
+	found := map[uint64]KeyCount{}
+	for _, e := range top {
+		found[e.Key] = e
+	}
+	for _, hk := range []uint64{heavyA, heavyB} {
+		e, ok := found[hk]
+		if !ok {
+			t.Fatalf("heavy hitter %d missing from top-4 %+v", hk, top)
+		}
+		if e.Count < truth[hk] || e.Count-e.Err > truth[hk] {
+			t.Fatalf("key %d: bound violated: count=%d err=%d true=%d", hk, e.Count, e.Err, truth[hk])
+		}
+	}
+}
+
+// TestTopKBoundsAllEntries checks the count-err <= true <= count
+// invariant for every reported entry, not just heavy hitters.
+func TestTopKBoundsAllEntries(t *testing.T) {
+	tk := NewTopK(4)
+	rng := rand.New(rand.NewSource(7))
+	truth := map[uint64]uint64{}
+	for i := 0; i < 50000; i++ {
+		k := uint64(rng.Intn(500))
+		truth[k]++
+		tk.Touch(k)
+	}
+	for _, e := range tk.Top(1000) {
+		if e.Count < truth[e.Key] {
+			t.Fatalf("key %d: count %d < true %d (undercount impossible in SpaceSaving)",
+				e.Key, e.Count, truth[e.Key])
+		}
+		if e.Count-e.Err > truth[e.Key] {
+			t.Fatalf("key %d: count-err %d > true %d (guaranteed mass overstated)",
+				e.Key, e.Count-e.Err, truth[e.Key])
+		}
+	}
+}
+
+func TestTopKCapacityClamp(t *testing.T) {
+	tk := NewTopK(0)
+	tk.Touch(1)
+	tk.Touch(1)
+	tk.Touch(2)
+	top := tk.Top(10)
+	if len(top) == 0 {
+		t.Fatal("clamped sketch tracked nothing")
+	}
+}
+
+func TestTopKConcurrent(t *testing.T) {
+	tk := NewTopK(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 20000; i++ {
+				if rng.Intn(4) == 0 {
+					tk.Touch(77)
+				} else {
+					tk.Touch(uint64(rng.Intn(10000)))
+				}
+			}
+			_ = tk.Top(8)
+		}(g)
+	}
+	wg.Wait()
+	top := tk.Top(1)
+	if len(top) != 1 || top[0].Key != 77 {
+		t.Fatalf("hot key 77 not on top after concurrent load: %+v", top)
+	}
+	// 8 goroutines × ~5000 touches of 77; counts can only overestimate.
+	if top[0].Count < 30000 {
+		t.Fatalf("hot key count %d implausibly low", top[0].Count)
+	}
+}

@@ -1,0 +1,423 @@
+// Package trace is the request-tracing layer of the lix engine: it follows
+// one serving request group from frame decode (internal/wire) through
+// dispatch (internal/serve), in-memory index work (internal/shard or the
+// bare backend) and WAL append/fsync (internal/store), and turns what it
+// sees into three live signals:
+//
+//   - per-stage latency histograms (decode_ns, dispatch_ns, shard_ns,
+//     wal_ns; fsync_ns is fed by the store directly), sampled at a
+//     configurable probabilistic rate, so a metrics scrape shows *where*
+//     the tail lives rather than one end-to-end number;
+//   - a slow-request log: any sampled request group slower than the
+//     configured threshold publishes an EvSlowRequest event carrying its
+//     full span timeline into the bounded obs.EventLog;
+//   - hot-key telemetry: a SpaceSaving top-K sketch (topk.go) updated on
+//     the read path, the sensor for hot-key caching and
+//     imbalance-triggered re-sharding.
+//
+// The cost model follows the obs.Hook contract: with no Tracer attached,
+// or with sampling disabled (rate 0), the serving hot path pays one
+// atomic load and a branch per request group. Spans themselves are pooled
+// and only exist for sampled groups.
+//
+// Stage durations are recorded with atomic adds, so layers that fan work
+// out across goroutines (the sharded router, per-segment WAL group
+// commits) can record concurrently into one span; a stage value is the
+// summed duration across that parallel work, which can exceed the group's
+// wall time. Stages are also hierarchical, not additive: dispatch covers
+// the store calls, which in turn cover shard/wal/fsync work.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
+)
+
+// Stage identifies one timed section of a serving request's path through
+// the engine.
+type Stage uint8
+
+// Span stages, in pipeline order.
+const (
+	// StageDecode is wire-frame parse time (io wait excluded).
+	StageDecode Stage = iota
+	// StageDispatch is the serving layer's group dispatch: run slicing,
+	// batch assembly and reply encoding, covering the store calls.
+	StageDispatch
+	// StageShard is in-memory index work: the shard fan-out or the bare
+	// backend's batch application.
+	StageShard
+	// StageWAL is WAL frame encoding + append write time.
+	StageWAL
+	// StageFsync is group-commit fsync wait time.
+	StageFsync
+	// NumStages bounds the stage set.
+	NumStages
+)
+
+// String returns the stable snake_case metric-family stem of the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageDecode:
+		return "decode"
+	case StageDispatch:
+		return "dispatch"
+	case StageShard:
+		return "shard"
+	case StageWAL:
+		return "wal"
+	case StageFsync:
+		return "fsync"
+	default:
+		return fmt.Sprintf("stage_%d", uint8(s))
+	}
+}
+
+// Span is the timeline of one sampled request group. Stage durations are
+// accumulated with atomic adds so parallel fan-out goroutines can record
+// into one span. The zero value is usable; spans handed out by
+// Tracer.Start are pooled and must be returned through Tracer.Finish.
+// All methods are safe on a nil receiver (no-ops / zero values), which
+// keeps call sites on the unsampled path branch-free.
+type Span struct {
+	start  time.Time
+	ops    int
+	stages [NumStages]atomic.Int64
+}
+
+// Add accumulates d into stage st. Safe for concurrent use and on a nil
+// receiver.
+func (sp *Span) Add(st Stage, d time.Duration) {
+	if sp == nil || st >= NumStages || d <= 0 {
+		return
+	}
+	sp.stages[st].Add(int64(d))
+}
+
+// Stage returns the accumulated duration of st (0 on a nil span).
+func (sp *Span) Stage(st Stage) time.Duration {
+	if sp == nil || st >= NumStages {
+		return 0
+	}
+	return time.Duration(sp.stages[st].Load())
+}
+
+// Ops returns the number of requests in the traced group.
+func (sp *Span) Ops() int {
+	if sp == nil {
+		return 0
+	}
+	return sp.ops
+}
+
+// Total returns the group's end-to-end duration: wall time since the span
+// started plus the decode stage, which the wire layer accumulates before
+// the span exists (frames are parsed while the group is drained).
+func (sp *Span) Total() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	return time.Since(sp.start) + sp.Stage(StageDecode)
+}
+
+// Timeline renders the span as one line, stages in pipeline order with
+// zero stages elided: "ops=3 decode=1.2µs dispatch=80µs shard=75µs".
+func (sp *Span) Timeline() string {
+	if sp == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ops=%d", sp.ops)
+	for st := Stage(0); st < NumStages; st++ {
+		if d := sp.Stage(st); d > 0 {
+			fmt.Fprintf(&b, " %s=%s", st, d)
+		}
+	}
+	return b.String()
+}
+
+func (sp *Span) reset(ops int) {
+	sp.start = time.Now()
+	sp.ops = ops
+	for i := range sp.stages {
+		sp.stages[i].Store(0)
+	}
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// SampleRate is the fraction of request groups traced, in [0, 1].
+	// 0 disables span sampling entirely (the disabled cost of Start is
+	// one atomic load and a branch).
+	SampleRate float64
+	// SlowThreshold, when positive, publishes an EvSlowRequest event
+	// (carrying the span timeline) for every sampled group whose total
+	// time reaches it. Only sampled groups are inspected: at rate r a
+	// slow request appears in the log with probability r.
+	SlowThreshold time.Duration
+	// TopK, when positive, enables hot-key telemetry: a SpaceSaving
+	// sketch of this capacity (per hash shard) updated with every key on
+	// the read path, independent of span sampling.
+	TopK int
+	// Metrics receives the per-stage histograms and slow-request events.
+	// Required when SampleRate > 0.
+	Metrics *obs.Metrics
+}
+
+// Tracer makes the sampling decision, owns the span pool and the hot-key
+// sketch, and routes finished spans into an obs.Metrics bundle. All
+// methods are safe for concurrent use and on a nil receiver (no-ops), so
+// callers can hold an optional *Tracer without guarding every call.
+type Tracer struct {
+	met  *obs.Metrics
+	topk *TopK
+
+	// thresh is the sampling cut: a group is traced iff the next PRNG
+	// draw is <= thresh. 0 disables, ^0 traces everything.
+	thresh atomic.Uint64
+	slowNS atomic.Int64
+	rng    atomic.Uint64
+
+	sampled obs.Counter
+	slow    obs.Counter
+
+	pool sync.Pool
+}
+
+// New returns a Tracer for cfg. It panics if cfg.SampleRate is positive
+// without a Metrics bundle to record into (a misconfiguration, not a
+// runtime condition).
+func New(cfg Config) *Tracer {
+	if cfg.SampleRate > 0 && cfg.Metrics == nil {
+		panic("trace: Config.SampleRate > 0 requires Config.Metrics")
+	}
+	t := &Tracer{met: cfg.Metrics}
+	t.pool.New = func() interface{} { return new(Span) }
+	if cfg.TopK > 0 {
+		t.topk = NewTopK(cfg.TopK)
+	}
+	t.SetSampleRate(cfg.SampleRate)
+	t.SetSlowThreshold(cfg.SlowThreshold)
+	return t
+}
+
+// SetSampleRate replaces the sampling rate (clamped to [0, 1]) at
+// runtime.
+func (t *Tracer) SetSampleRate(rate float64) {
+	if t == nil {
+		return
+	}
+	switch {
+	case rate <= 0:
+		t.thresh.Store(0)
+	case rate >= 1:
+		t.thresh.Store(^uint64(0))
+	default:
+		t.thresh.Store(uint64(rate * float64(math.MaxUint64)))
+	}
+}
+
+// SetSlowThreshold replaces the slow-request threshold at runtime
+// (0 or negative disables the slow log).
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.slowNS.Store(int64(d))
+}
+
+// Enabled reports whether span sampling can currently select a group —
+// the one-atomic-load fast check serving layers use to skip all span
+// bookkeeping.
+func (t *Tracer) Enabled() bool {
+	return t != nil && t.thresh.Load() != 0
+}
+
+// HotKeys reports whether hot-key telemetry is on.
+func (t *Tracer) HotKeys() bool { return t != nil && t.topk != nil }
+
+// splitmix64 is the sampling PRNG step: cheap, stateless beyond one
+// counter, and well distributed even on sequential inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Start makes the sampling decision for one request group of ops
+// requests: it returns a pooled, reset span when the group is sampled and
+// nil otherwise (also on a nil tracer or rate 0). A non-nil span must be
+// handed back through Finish.
+func (t *Tracer) Start(ops int) *Span {
+	if t == nil {
+		return nil
+	}
+	th := t.thresh.Load()
+	if th == 0 {
+		return nil
+	}
+	if splitmix64(t.rng.Add(1)) > th {
+		return nil
+	}
+	sp := t.pool.Get().(*Span)
+	sp.reset(ops)
+	return sp
+}
+
+// Finish completes a sampled span: stage durations feed the per-stage
+// histograms, the slow threshold is checked (publishing EvSlowRequest
+// with the span's timeline when crossed), and the span returns to the
+// pool. Nil tracer or span is a no-op.
+func (t *Tracer) Finish(sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	total := sp.Total()
+	t.sampled.Inc()
+	if m := t.met; m != nil {
+		observeStage := func(h *obs.Histogram, st Stage) {
+			if d := sp.Stage(st); d > 0 {
+				h.Observe(uint64(d))
+			}
+		}
+		observeStage(&m.DecodeNS, StageDecode)
+		observeStage(&m.DispatchNS, StageDispatch)
+		observeStage(&m.ShardNS, StageShard)
+		observeStage(&m.WalNS, StageWAL)
+		// StageFsync deliberately does not feed m.FsyncNS: the store
+		// records every group commit there already; a span's fsync time
+		// is per-request attribution, visible in the timeline.
+		if slow := t.slowNS.Load(); slow > 0 && int64(total) >= slow {
+			t.slow.Inc()
+			m.Event(obs.Event{
+				Type:   obs.EvSlowRequest,
+				N:      int(total),
+				Detail: sp.Timeline() + " total=" + total.String(),
+			})
+		}
+	}
+	t.pool.Put(sp)
+}
+
+// Sampled returns the number of groups sampled so far.
+func (t *Tracer) Sampled() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampled.Load()
+}
+
+// Slow returns the number of slow-request events published so far.
+func (t *Tracer) Slow() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.slow.Load()
+}
+
+// TouchKey feeds one read-path key into the hot-key sketch (no-op when
+// hot-key telemetry is off).
+func (t *Tracer) TouchKey(k core.Key) {
+	if t == nil || t.topk == nil {
+		return
+	}
+	t.topk.Touch(uint64(k))
+}
+
+// TouchKeys feeds a batch of read-path keys into the hot-key sketch.
+func (t *Tracer) TouchKeys(keys []core.Key) {
+	if t == nil || t.topk == nil {
+		return
+	}
+	for _, k := range keys {
+		t.topk.Touch(uint64(k))
+	}
+}
+
+// TopKeys returns the current top-n hot keys, hottest first (nil when
+// hot-key telemetry is off).
+func (t *Tracer) TopKeys(n int) []KeyCount {
+	if t == nil || t.topk == nil {
+		return nil
+	}
+	return t.topk.Top(n)
+}
+
+// ---------------------------------------------------------------------------
+// Span-aware batch dispatch
+// ---------------------------------------------------------------------------
+
+// SpanLookuper is the span-aware batched-read capability: engine layers
+// that can attribute their internal stage timings (shard fan-out, WAL,
+// fsync) implement it alongside core.BatchLookuper.
+type SpanLookuper interface {
+	LookupBatchSpan(keys []core.Key, sp *Span) ([]core.Value, []bool)
+}
+
+// SpanInserter is the span-aware batched-write capability.
+type SpanInserter interface {
+	InsertBatchSpan(recs []core.KV, sp *Span)
+}
+
+// SpanDeleter is the span-aware batched-delete capability.
+type SpanDeleter interface {
+	DeleteBatchSpan(keys []core.Key, sp *Span) []bool
+}
+
+// LookupBatch resolves keys through ix, routing the span to the layer's
+// span-aware path when it has one; otherwise the whole call is timed as
+// the shard stage. With a nil span it is exactly core.LookupBatch.
+func LookupBatch(ix core.Getter, keys []core.Key, sp *Span) ([]core.Value, []bool) {
+	if sp == nil {
+		return core.LookupBatch(ix, keys)
+	}
+	if sl, ok := ix.(SpanLookuper); ok {
+		return sl.LookupBatchSpan(keys, sp)
+	}
+	t0 := time.Now()
+	vals, oks := core.LookupBatch(ix, keys)
+	sp.Add(StageShard, time.Since(t0))
+	return vals, oks
+}
+
+// InsertBatch applies recs through ix with span routing; see LookupBatch.
+func InsertBatch(ix core.Inserter, recs []core.KV, sp *Span) {
+	if sp == nil {
+		core.InsertBatch(ix, recs)
+		return
+	}
+	if si, ok := ix.(SpanInserter); ok {
+		si.InsertBatchSpan(recs, sp)
+		return
+	}
+	t0 := time.Now()
+	core.InsertBatch(ix, recs)
+	sp.Add(StageShard, time.Since(t0))
+}
+
+// DeleteBatch removes keys through ix with span routing; see LookupBatch.
+func DeleteBatch(ix core.Deleter, keys []core.Key, sp *Span) []bool {
+	if sp == nil {
+		return core.DeleteBatch(ix, keys)
+	}
+	if sd, ok := ix.(SpanDeleter); ok {
+		return sd.DeleteBatchSpan(keys, sp)
+	}
+	t0 := time.Now()
+	oks := core.DeleteBatch(ix, keys)
+	sp.Add(StageShard, time.Since(t0))
+	return oks
+}

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// TestReaderDecodeTiming pins the decode-timing accumulator the serving
+// tracer leans on: off by default, accumulating across Reads when
+// enabled, and reset by TakeDecodeNS so parse time can never leak from
+// one pipelined group into the next group's span.
+func TestReaderDecodeTiming(t *testing.T) {
+	frame := func(m *Msg) []byte {
+		b, err := AppendFrame(nil, m, 0)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+		return b
+	}
+	var stream []byte
+	stream = append(stream, frame(&Msg{Op: OpSet, Key: 1, Val: 10})...)
+	stream = append(stream, frame(&Msg{Op: OpMGet, Keys: []core.Key{1, 2, 3}})...)
+	stream = append(stream, frame(&Msg{Op: OpGet, Key: 2})...)
+
+	// Timing off (default): the accumulator stays zero.
+	r := NewReader(bytes.NewReader(stream), 0)
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if ns := r.TakeDecodeNS(); ns != 0 {
+		t.Errorf("decode ns with timing off = %d, want 0", ns)
+	}
+
+	// Timing on: each Read adds to the accumulator.
+	r.SetTiming(true)
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	first := r.decodeNS
+	if first <= 0 {
+		t.Fatalf("decode ns after one timed Read = %d, want > 0", first)
+	}
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if r.decodeNS < first {
+		t.Errorf("decode ns did not accumulate: %d then %d", first, r.decodeNS)
+	}
+
+	// Take drains and resets.
+	if ns := r.TakeDecodeNS(); ns < first {
+		t.Errorf("TakeDecodeNS = %d, want >= %d", ns, first)
+	}
+	if ns := r.TakeDecodeNS(); ns != 0 {
+		t.Errorf("second TakeDecodeNS = %d, want 0 (reset)", ns)
+	}
+
+	// Toggling timing back off stops accumulation.
+	r.SetTiming(false)
+	r2 := NewReader(bytes.NewReader(frame(&Msg{Op: OpGet, Key: 7})), 0)
+	r2.SetTiming(true)
+	r2.SetTiming(false)
+	if _, err := r2.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if ns := r2.TakeDecodeNS(); ns != 0 {
+		t.Errorf("decode ns after re-disabling = %d, want 0", ns)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/lix-go/lix/internal/core"
 )
@@ -354,6 +355,25 @@ type Reader struct {
 	br  *bufio.Reader
 	max int
 	buf []byte // reused payload buffer
+
+	// Decode timing for request tracing: when enabled, Read accumulates
+	// the time spent parsing payloads (io wait excluded — the tracer
+	// wants CPU attribution, not how long the client took to send).
+	timing   bool
+	decodeNS int64
+}
+
+// SetTiming enables or disables decode timing. Off (the default) costs
+// nothing; on, each Read adds one monotonic-clock pair around Decode.
+func (r *Reader) SetTiming(on bool) { r.timing = on }
+
+// TakeDecodeNS returns the decode nanoseconds accumulated since the last
+// call and resets the accumulator. Serving loops call it once per
+// pipelined group to attribute parse time to that group's span.
+func (r *Reader) TakeDecodeNS() int64 {
+	ns := r.decodeNS
+	r.decodeNS = 0
+	return ns
 }
 
 // NewReader returns a Reader over r with the given frame-size guard
@@ -388,6 +408,12 @@ func (r *Reader) Read() (Msg, error) {
 			err = io.ErrUnexpectedEOF
 		}
 		return Msg{}, err
+	}
+	if r.timing {
+		t0 := time.Now()
+		m, err := Decode(buf)
+		r.decodeNS += time.Since(t0).Nanoseconds()
+		return m, err
 	}
 	return Decode(buf)
 }

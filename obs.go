@@ -1,11 +1,13 @@
 package lix
 
 import (
+	"bytes"
 	"io"
 	"time"
 
 	"github.com/lix-go/lix/internal/core"
 	"github.com/lix-go/lix/internal/obs"
+	"github.com/lix-go/lix/internal/trace"
 )
 
 // Observability types, re-exported from internal/obs for the public API.
@@ -41,6 +43,7 @@ const (
 	EvWALFlush    = obs.EvWALFlush
 	EvRecovery    = obs.EvRecovery
 	EvDrain       = obs.EvDrain
+	EvSlowRequest = obs.EvSlowRequest
 )
 
 // NewMetrics returns an empty metrics bundle named name (the name labels
@@ -143,6 +146,25 @@ func (o *ObservedIndex) LookupBatch(keys []Key) ([]Value, []bool) {
 	return vals, oks
 }
 
+// LookupBatchSpan is LookupBatch with span forwarding: the same batch
+// metrics are recorded, then the batch routes to the wrapped index's
+// span-aware path (when it has one) so a Durable below this wrapper can
+// attribute its wal/fsync stages.
+func (o *ObservedIndex) LookupBatchSpan(keys []Key, sp *Span) ([]Value, []bool) {
+	start := time.Now()
+	vals, oks := trace.LookupBatch(o.idx, keys, sp)
+	o.m.BatchNS.Observe(uint64(time.Since(start)))
+	o.m.BatchLen.Observe(uint64(len(keys)))
+	o.m.Batches.Inc()
+	o.m.Lookups.Add(uint64(len(keys)))
+	for _, ok := range oks {
+		if ok {
+			o.m.Hits.Inc()
+		}
+	}
+	return vals, oks
+}
+
 // Close forwards the io.Closer capability, so a wrapped Durable can be
 // closed without unwrapping. Indexes without the capability close as a
 // no-op.
@@ -218,8 +240,46 @@ func (o *ObservedMutableIndex) DeleteBatch(keys []Key) []bool {
 	return oks
 }
 
+// InsertBatchSpan is InsertBatch with span forwarding; see
+// ObservedIndex.LookupBatchSpan.
+func (o *ObservedMutableIndex) InsertBatchSpan(recs []KV, sp *Span) {
+	start := time.Now()
+	trace.InsertBatch(o.mut, recs, sp)
+	o.m.BatchNS.Observe(uint64(time.Since(start)))
+	o.m.BatchLen.Observe(uint64(len(recs)))
+	o.m.Batches.Inc()
+	o.m.Inserts.Add(uint64(len(recs)))
+}
+
+// DeleteBatchSpan is DeleteBatch with span forwarding; see
+// ObservedIndex.LookupBatchSpan.
+func (o *ObservedMutableIndex) DeleteBatchSpan(keys []Key, sp *Span) []bool {
+	start := time.Now()
+	oks := trace.DeleteBatch(o.mut, keys, sp)
+	o.m.BatchNS.Observe(uint64(time.Since(start)))
+	o.m.BatchLen.Observe(uint64(len(keys)))
+	o.m.Batches.Inc()
+	o.m.Deletes.Add(uint64(len(keys)))
+	return oks
+}
+
 // WriteMetricsPrometheus renders the given bundles in Prometheus text
 // exposition format (stdlib only, no client dependency).
 func WriteMetricsPrometheus(w io.Writer, ms ...*Metrics) error {
 	return obs.WritePrometheusAll(w, ms...)
+}
+
+// MetricsFlusher periodically writes a Prometheus snapshot file via
+// atomic temp-file+rename replacement, so an exposition dump survives a
+// crash between scrapes. See NewMetricsFlusher.
+type MetricsFlusher = obs.Flusher
+
+// NewMetricsFlusher returns a flusher rendering ms to path in Prometheus
+// text format. Call Start to begin the periodic ticker (interval <= 0
+// disables it) and Stop for the final flush — with no interval that
+// preserves the classic write-once-at-exit snapshot behavior.
+func NewMetricsFlusher(path string, interval time.Duration, ms ...*Metrics) *MetricsFlusher {
+	return obs.NewFlusher(path, interval, func(buf *bytes.Buffer) error {
+		return obs.WritePrometheusAll(buf, ms...)
+	})
 }

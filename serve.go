@@ -1,6 +1,10 @@
 package lix
 
-import "github.com/lix-go/lix/internal/serve"
+import (
+	"net/http"
+
+	"github.com/lix-go/lix/internal/serve"
+)
 
 // This file re-exports the pipelined TCP serving front-end
 // (internal/serve) and its wire protocol surface. The server speaks a
@@ -29,4 +33,21 @@ type Server = serve.Server
 //	defer srv.Shutdown()
 func NewServer(store ServeStore, cfg ServeConfig) *Server {
 	return serve.New(store, cfg)
+}
+
+// AdminConfig assembles the live admin HTTP plane: /metrics, /healthz,
+// /readyz, /events, /topk and /debug/pprof/*.
+type AdminConfig = serve.AdminConfig
+
+// NewAdminHandler returns the admin-plane handler for cfg. Typical
+// wiring alongside a Server:
+//
+//	h := lix.NewAdminHandler(lix.AdminConfig{
+//		Metrics: []*lix.Metrics{m},
+//		Tracer:  stack.Tracer(),
+//		Ready:   func() bool { return !srv.Draining() },
+//	})
+//	go http.ListenAndServe(adminAddr, h)
+func NewAdminHandler(cfg AdminConfig) http.Handler {
+	return serve.NewAdminHandler(cfg)
 }

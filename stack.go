@@ -7,6 +7,7 @@ import (
 
 	"github.com/lix-go/lix/internal/core"
 	"github.com/lix-go/lix/internal/registry"
+	"github.com/lix-go/lix/internal/trace"
 )
 
 // StackConfig configures NewStack, the one-call engine constructor. Zero
@@ -50,6 +51,11 @@ type StackConfig struct {
 	// bundle per shard (non-durable stacks only; retrieve them through
 	// Sharded().ShardMetrics()).
 	ShardMetricsPrefix string
+	// Trace, when set, attaches a request tracer bound to Metrics:
+	// sampled per-stage spans, the slow-request log, and (with TopK) the
+	// hot-key sketch. Span sampling requires Metrics; hot-key telemetry
+	// alone does not. Retrieve the tracer with Stack.Tracer().
+	Trace *TraceOptions
 }
 
 // Stack is a fully assembled serving engine: backend → shard → durable →
@@ -63,6 +69,7 @@ type Stack struct {
 	durable *Durable
 	sharded *Sharded
 	metrics *Metrics
+	tracer  *Tracer
 }
 
 // NewStack assembles a serving stack over recs (sorted ascending,
@@ -136,6 +143,17 @@ func NewStack(recs []KV, cfg StackConfig) (*Stack, error) {
 	} else {
 		s.top = inner
 	}
+	if t := cfg.Trace; t != nil {
+		if t.SampleRate > 0 && cfg.Metrics == nil {
+			return nil, fmt.Errorf("lix: StackConfig.Trace.SampleRate > 0 requires StackConfig.Metrics")
+		}
+		s.tracer = NewTracer(TraceConfig{
+			SampleRate:    t.SampleRate,
+			SlowThreshold: t.SlowThreshold,
+			TopK:          t.TopK,
+			Metrics:       cfg.Metrics,
+		})
+	}
 	return s, nil
 }
 
@@ -177,6 +195,24 @@ func (s *Stack) InsertBatch(recs []KV) { core.InsertBatch(s.top, recs) }
 // on duplicates.
 func (s *Stack) DeleteBatch(keys []Key) []bool { return core.DeleteBatch(s.top, keys) }
 
+// LookupBatchSpan is LookupBatch with per-stage span attribution,
+// forwarded down through whichever layers can break their time out
+// (durable: wal/fsync/apply; sharded: fan-out). Serving front-ends call
+// it for sampled request groups; a nil span is exactly LookupBatch.
+func (s *Stack) LookupBatchSpan(keys []Key, sp *Span) ([]Value, []bool) {
+	return trace.LookupBatch(s.top, keys, sp)
+}
+
+// InsertBatchSpan is InsertBatch with per-stage span attribution; see
+// LookupBatchSpan.
+func (s *Stack) InsertBatchSpan(recs []KV, sp *Span) { trace.InsertBatch(s.top, recs, sp) }
+
+// DeleteBatchSpan is DeleteBatch with per-stage span attribution; see
+// LookupBatchSpan.
+func (s *Stack) DeleteBatchSpan(keys []Key, sp *Span) []bool {
+	return trace.DeleteBatch(s.top, keys, sp)
+}
+
 // SearchRange collects every record with lo <= key <= hi in ascending key
 // order (a sharded stack fans the scan out across shards in parallel).
 // The result is always non-nil.
@@ -204,6 +240,10 @@ func (s *Stack) Sharded() *Sharded { return s.sharded }
 // Metrics returns the metrics bundle the stack records into, nil unless
 // StackConfig.Metrics was set.
 func (s *Stack) Metrics() *Metrics { return s.metrics }
+
+// Tracer returns the request tracer, nil unless StackConfig.Trace was
+// set (a nil Tracer is safe everywhere and means "tracing off").
+func (s *Stack) Tracer() *Tracer { return s.tracer }
 
 // Unwrap returns the outermost wrapped layer (the obs wrapper's target
 // when metrics are attached, else the top layer itself).
