@@ -103,6 +103,39 @@ func main() {
 		compareBenchFiles(*compare)
 		return
 	}
+
+	// Profiles cover every mode below (serving, batch, durable, loadgen,
+	// trace-overhead and the experiment suite): the CPU profile brackets
+	// the whole run and the heap profile is written at exit. They used to
+	// be wired only into the experiment path, which made the serving
+	// modes — the ones the scaling work needed profiled — unprofilable.
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memOut != "" {
+		defer func() {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // materialize live-heap stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
+
 	if *serveAddr != "" {
 		runLoadgen(*serveAddr, *pipeline, *targetQPS, *duration, *concurrency, *n, *seed, *quick, *rev, *benchOut)
 		return
@@ -135,20 +168,6 @@ func main() {
 		cfg.Q = *q
 	}
 	cfg.Seed = *seed
-
-	if *cpuOut != "" {
-		f, err := os.Create(*cpuOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
-	}
 
 	var m *lix.Metrics
 	if *metricsOut != "" {
@@ -187,17 +206,6 @@ func main() {
 		}
 	}
 
-	if *memOut != "" {
-		f, err := os.Create(*memOut)
-		if err != nil {
-			fatal(err)
-		}
-		runtime.GC() // materialize live-heap stats
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
-		}
-		f.Close()
-	}
 }
 
 // runServing executes the sharded serving benchmark (lixbench -shards N
@@ -337,7 +345,7 @@ func runBatch(sizeSpec string, shards, n, q int, seed int64, quick bool, rev, ou
 			}
 		}
 		f.Rev = rev
-		f.Results = append(f.Results, results...)
+		f.MergeResults(results)
 		data, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -390,7 +398,7 @@ func runLoadgen(addr string, pipeline int, qps float64, dur time.Duration,
 			}
 		}
 		f.Rev = rev
-		f.Results = append(f.Results, results...)
+		f.MergeResults(results)
 		data, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -444,7 +452,7 @@ func runTraceOverhead(pipeline int, dur time.Duration, conns, shards, n int,
 			}
 		}
 		f.Rev = rev
-		f.Results = append(f.Results, results...)
+		f.MergeResults(results)
 		data, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {
 			fatal(err)

@@ -89,3 +89,92 @@ func TestCompareThresholdBoundary(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeResultsReplacesByName pins the bench-file merge semantics a
+// repeated lixbench mode relies on: same-named results are replaced in
+// place (latest run wins, constraints included), new names append, and
+// no duplicates survive — CompareBenchFiles resolves names by map, so a
+// duplicate would pair old-vs-new and ratio references arbitrarily.
+func TestMergeResultsReplacesByName(t *testing.T) {
+	f := BenchFile{Results: []BenchResult{
+		{Name: "a", OpsPerSec: 1},
+		{Name: "b", OpsPerSec: 2},
+	}}
+	f.MergeResults([]BenchResult{
+		{Name: "b", OpsPerSec: 20, MinRatioOf: "a", MinRatio: 0.5},
+		{Name: "c", OpsPerSec: 3},
+	})
+	if len(f.Results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(f.Results), f.Results)
+	}
+	if r := f.Results[1]; r.Name != "b" || r.OpsPerSec != 20 || r.MinRatioOf != "a" {
+		t.Fatalf("replaced entry = %+v, want updated b in place", r)
+	}
+	if r := f.Results[2]; r.Name != "c" || r.OpsPerSec != 3 {
+		t.Fatalf("appended entry = %+v, want c", r)
+	}
+}
+
+// TestCompareRatioGate pins the blocking intra-run ratio constraint: a
+// result declaring MinRatioOf/MinRatio fails the comparison whenever the
+// new run measures it below the floor times its sibling — even when it
+// improved against the baseline — and passes at or above the floor.
+func TestCompareRatioGate(t *testing.T) {
+	gated := func(batched, looped, floor float64) BenchFile {
+		return BenchFile{Rev: "b", Results: []BenchResult{
+			{Name: "batch/s/lookup/looped", OpsPerSec: looped},
+			{Name: "batch/s/lookup/b16", OpsPerSec: batched,
+				MinRatioOf: "batch/s/lookup/looped", MinRatio: floor},
+		}}
+	}
+	old := gated(100, 100, 0.9)
+
+	cases := []struct {
+		name    string
+		batched float64
+		reg     bool
+	}{
+		{"above floor", 95, false},
+		{"exactly at floor", 90, false},
+		{"below floor", 89, true},
+		{"well below floor", 42, true},
+	}
+	for _, c := range cases {
+		regs, _ := CompareBenchFiles(old, gated(c.batched, 100, 0.9), 0.5)
+		if got := len(regs) > 0; got != c.reg {
+			t.Errorf("%s (%g vs 100): regression=%v, want %v (%v)", c.name, c.batched, got, c.reg, regs)
+		}
+	}
+
+	// Improvement over baseline does not excuse a floor violation: the
+	// batched side doubles its own history but still trails looped.
+	regs, _ := CompareBenchFiles(old, gated(200, 300, 0.9), 0.5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "floor") {
+		t.Fatalf("floor violation with improved absolute throughput: regs = %v", regs)
+	}
+
+	// A dangling reference is itself a blocking failure, not a silent skip.
+	dangling := BenchFile{Rev: "b", Results: []BenchResult{
+		{Name: "batch/s/lookup/b16", OpsPerSec: 100,
+			MinRatioOf: "batch/s/lookup/looped", MinRatio: 0.9},
+	}}
+	regs, _ = CompareBenchFiles(BenchFile{}, dangling, 0.5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing from new run") {
+		t.Fatalf("dangling ratio reference: regs = %v", regs)
+	}
+
+	// A baseline-side constraint still binds when the new run omits it.
+	oldOnly := BenchFile{Rev: "a", Results: []BenchResult{
+		{Name: "batch/s/lookup/looped", OpsPerSec: 100},
+		{Name: "batch/s/lookup/b16", OpsPerSec: 100,
+			MinRatioOf: "batch/s/lookup/looped", MinRatio: 0.9},
+	}}
+	shed := BenchFile{Rev: "b", Results: []BenchResult{
+		{Name: "batch/s/lookup/looped", OpsPerSec: 100},
+		{Name: "batch/s/lookup/b16", OpsPerSec: 50},
+	}}
+	regs, _ = CompareBenchFiles(oldOnly, shed, 0.9)
+	if len(regs) != 1 || !strings.Contains(regs[0], "floor") {
+		t.Fatalf("inherited baseline constraint: regs = %v", regs)
+	}
+}

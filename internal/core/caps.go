@@ -21,6 +21,15 @@ type BatchLookuper interface {
 	LookupBatch(keys []Key) ([]Value, []bool)
 }
 
+// BatchLookuperInto is the allocation-free variant of BatchLookuper:
+// answers are written into caller-supplied vals and oks slices
+// (len(keys) each), so a serving loop can reuse its buffers across
+// batches. The sharded layer pins zero allocations per call on this
+// path.
+type BatchLookuperInto interface {
+	LookupBatchInto(keys []Key, vals []Value, oks []bool)
+}
+
 // BatchInserter upserts many records in one call. Duplicate keys inside
 // one batch resolve later-wins, exactly as a sequential upsert loop
 // would (the conformance suite pins this).
@@ -78,6 +87,19 @@ func LookupBatch(ix Getter, keys []Key) ([]Value, []bool) {
 		vals[i], oks[i] = ix.Get(k)
 	}
 	return vals, oks
+}
+
+// LookupBatchInto resolves keys into the caller-supplied vals and oks
+// slices (len(keys) each) through ix's BatchLookuperInto capability when
+// present, else a Get loop — either way without allocating.
+func LookupBatchInto(ix Getter, keys []Key, vals []Value, oks []bool) {
+	if b, ok := ix.(BatchLookuperInto); ok {
+		b.LookupBatchInto(keys, vals, oks)
+		return
+	}
+	for i, k := range keys {
+		vals[i], oks[i] = ix.Get(k)
+	}
 }
 
 // InsertBatch upserts recs into ix through its BatchInserter capability

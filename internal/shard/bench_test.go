@@ -57,3 +57,42 @@ func BenchmarkRouterRoute(b *testing.B) {
 		r.Route(core.Key(i) * 0x9e3779b97f4a7c15)
 	}
 }
+
+// BenchmarkLookupBatchVsLooped pins the batch-vs-looped comparison the
+// bench regression gate enforces: Into is the zero-alloc path, looped is
+// the per-key Get baseline.
+func BenchmarkLookupBatchInto(b *testing.B) {
+	recs := sortedRecs(100_000, 1)
+	s, err := New(recs, Config{Shards: 8}, testBuilders())
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]core.Key, 256)
+	for i := range keys {
+		keys[i] = recs[i*97%len(recs)].Key
+	}
+	vals := make([]core.Value, len(keys))
+	oks := make([]bool, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LookupBatchInto(keys, vals, oks)
+	}
+}
+
+func BenchmarkLookupLooped(b *testing.B) {
+	recs := sortedRecs(100_000, 1)
+	s, err := New(recs, Config{Shards: 8}, testBuilders())
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]core.Key, 256)
+	for i := range keys {
+		keys[i] = recs[i*97%len(recs)].Key
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			s.Get(k)
+		}
+	}
+}

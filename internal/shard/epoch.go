@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Epoch-based reclamation for the RCU read path.
+//
+// LockRCU readers never take a lock: they pin the current epoch, load the
+// snapshot/delta pointers, read, and unpin. Writers retire superseded
+// buffers (snapshot record arrays, delta sorted runs, delta tails) into a
+// limbo list stamped with the epoch current at retirement, then advance
+// the global epoch. A retired buffer is reclaimed — recycled into the
+// owning Sharded's buffer pools — only once every pinned reader holds an
+// epoch newer than the retirement stamp, which proves no reader loaded a
+// pointer to it:
+//
+//   - a reader pinned before the buffer was unpublished carries a pin
+//     epoch ≤ the retirement stamp, so the stamp never drops below the
+//     minimum pinned epoch and the buffer stays in limbo;
+//   - a reader pinned after the unpublish can only load the replacement
+//     pointer (Go's sync/atomic is sequentially consistent), so it never
+//     reaches the retired buffer at all.
+//
+// Pin/unpin are two atomic operations and a short probe — no mutex, no
+// allocation — so the read path stays lock-free and zero-alloc (pinned by
+// internal/shard/alloc_test.go).
+
+// epochSlots is the pin-slot count. More concurrent pinned readers than
+// slots simply spin in pin() until a slot frees; 64 comfortably exceeds
+// any realistic worker count.
+const epochSlots = 64
+
+// epochSlot is one pin slot, padded to a cache line so readers on
+// different cores do not false-share. 0 means idle; a nonzero value is
+// the pinned epoch + 1.
+type epochSlot struct {
+	e atomic.Uint64
+	_ [56]byte
+}
+
+// retired is one limbo entry: a reclamation closure and the global epoch
+// at retirement time.
+type retired struct {
+	epoch uint64
+	free  func()
+}
+
+// epochDomain is one reclamation domain, shared by all shards of a
+// Sharded (a single pin covers a whole cross-shard batch).
+type epochDomain struct {
+	global atomic.Uint64
+	slots  [epochSlots]epochSlot
+
+	mu       sync.Mutex // guards limbo; never touched by readers
+	limbo    []retired
+	reclaims atomic.Uint64 // buffers actually freed, for tests/stats
+}
+
+// pin claims a slot holding the current epoch and returns it. The probe
+// starts at a slot derived from the caller's stack address, so distinct
+// goroutines land on distinct cache lines and repeated pins by one
+// goroutine reuse a warm slot.
+func (d *epochDomain) pin() *epochSlot {
+	var anchor byte
+	h := uint(uintptr(unsafe.Pointer(&anchor)) >> 6)
+	for {
+		e := d.global.Load()
+		for i := uint(0); i < epochSlots; i++ {
+			s := &d.slots[(h+i)%epochSlots]
+			if s.e.Load() == 0 && s.e.CompareAndSwap(0, e+1) {
+				return s
+			}
+		}
+		// Every slot is held by a concurrent reader; retry with a fresh
+		// epoch so a long spin cannot pin an ancient value.
+	}
+}
+
+// unpin releases a slot returned by pin. All reads of epoch-protected
+// buffers must happen before unpin.
+func (d *epochDomain) unpin(s *epochSlot) { s.e.Store(0) }
+
+// retire schedules free to run once every reader pinned at or before the
+// current epoch has unpinned, then advances the epoch and opportunistically
+// reclaims whatever is already safe.
+func (d *epochDomain) retire(free func()) {
+	d.mu.Lock()
+	d.limbo = append(d.limbo, retired{epoch: d.global.Load(), free: free})
+	d.global.Add(1)
+	d.collectLocked()
+	d.mu.Unlock()
+}
+
+// collect reclaims every limbo entry no pinned reader can still reference.
+func (d *epochDomain) collect() {
+	d.mu.Lock()
+	d.collectLocked()
+	d.mu.Unlock()
+}
+
+func (d *epochDomain) collectLocked() {
+	min := d.global.Load()
+	for i := range d.slots {
+		if e := d.slots[i].e.Load(); e != 0 && e-1 < min {
+			min = e - 1
+		}
+	}
+	kept := d.limbo[:0]
+	for _, r := range d.limbo {
+		if r.epoch < min {
+			r.free()
+			d.reclaims.Add(1)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	// Zero the tail so reclaimed closures are not retained by the
+	// backing array.
+	for i := len(kept); i < len(d.limbo); i++ {
+		d.limbo[i] = retired{}
+	}
+	d.limbo = kept
+}
+
+// pending returns the limbo length, for tests.
+func (d *epochDomain) pending() int {
+	d.mu.Lock()
+	n := len(d.limbo)
+	d.mu.Unlock()
+	return n
+}

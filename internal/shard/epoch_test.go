@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// TestEpochPinBlocksReclaim pins the core safety property: a buffer
+// retired while a reader holds an older epoch stays in limbo until that
+// reader unpins, and is reclaimed promptly afterwards.
+func TestEpochPinBlocksReclaim(t *testing.T) {
+	var d epochDomain
+	slot := d.pin()
+
+	freed := false
+	d.retire(func() { freed = true })
+	if freed {
+		t.Fatal("buffer freed while a reader from an older epoch is pinned")
+	}
+	// Further retires and collects must not free it either.
+	d.retire(func() {})
+	d.collect()
+	if freed {
+		t.Fatal("buffer freed by a later retire despite the pinned reader")
+	}
+	if d.pending() == 0 {
+		t.Fatal("limbo emptied while a reader is pinned")
+	}
+
+	d.unpin(slot)
+	d.collect()
+	if !freed {
+		t.Fatal("buffer not reclaimed after the last reader unpinned")
+	}
+	if d.pending() != 0 {
+		t.Fatalf("limbo holds %d entries after unpin+collect, want 0", d.pending())
+	}
+}
+
+// TestEpochFreshPinDoesNotBlockOlderGarbage pins the liveness half: a
+// reader pinned *after* a retirement must not keep that garbage alive —
+// only readers from the retirement epoch or earlier do.
+func TestEpochFreshPinDoesNotBlockOlderGarbage(t *testing.T) {
+	var d epochDomain
+	freed := false
+	d.retire(func() { freed = true })
+
+	slot := d.pin() // pinned after the retire: sees only the replacement
+	defer d.unpin(slot)
+	d.collect()
+	if !freed {
+		t.Fatal("garbage from before the pin survived collection")
+	}
+}
+
+// TestEpochPinUnpinConcurrent hammers pin/unpin/retire from many
+// goroutines under the race detector: every retired closure must run
+// exactly once, and the domain must end with an empty limbo.
+func TestEpochPinUnpinConcurrent(t *testing.T) {
+	var d epochDomain
+	const workers, rounds = 8, 400
+
+	var mu sync.Mutex
+	runs := make(map[int]int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s := d.pin()
+				d.unpin(s)
+				id := w*rounds + i
+				d.retire(func() {
+					mu.Lock()
+					runs[id]++
+					mu.Unlock()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	d.collect()
+	if d.pending() != 0 {
+		t.Fatalf("limbo holds %d entries after all readers left, want 0", d.pending())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(runs) != workers*rounds {
+		t.Fatalf("%d closures ran, want %d", len(runs), workers*rounds)
+	}
+	for id, n := range runs {
+		if n != 1 {
+			t.Fatalf("closure %d ran %d times, want once", id, n)
+		}
+	}
+}
+
+// TestEpochReclaimsThroughServing drives the whole pipeline through the
+// public API: sustained RCU writes churn snapshots, and the domain must
+// both reclaim retired buffers (the pools are fed) and never free one
+// under an active reader — the latter checked structurally by readers
+// asserting their view stays coherent while merges run.
+func TestEpochReclaimsThroughServing(t *testing.T) {
+	s, err := New(sortedRecs(2048, 3), Config{Shards: 2, Mode: LockRCU, DeltaCap: 32}, testBuilders())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	recs := s.SearchRange(0, core.Key(1<<63))
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := recs[(i*31)%len(recs)].Key
+				if _, ok := s.Get(k); !ok {
+					t.Errorf("preloaded key %d vanished mid-merge", k)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4000; i++ {
+		s.Insert(recs[i%len(recs)].Key, core.Value(i))
+	}
+	s.WaitMerges()
+	close(stop)
+	readers.Wait()
+
+	if s.EpochReclaims() == 0 {
+		t.Fatal("no epoch reclaims despite sustained merge churn")
+	}
+}

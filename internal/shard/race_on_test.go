@@ -1,0 +1,10 @@
+//go:build race
+
+package shard
+
+// raceEnabled reports whether the race detector is compiled in. The
+// AllocsPerRun pins skip under -race: the detector makes sync.Pool drop
+// items at random (to widen race coverage), so pooled paths legitimately
+// allocate there. The race build still runs these tests' code paths via
+// the conform stress tier.
+const raceEnabled = true

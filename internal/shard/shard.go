@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,9 +36,10 @@ type LockMode uint8
 const (
 	// LockRW guards each shard's mutable index with a sync.RWMutex.
 	LockRW LockMode = iota
-	// LockRCU keeps each shard as an immutable snapshot + copy-on-write
-	// delta behind atomic pointers: reads are lock-free, writers serialize
-	// per shard and swap a freshly built snapshot when the delta fills.
+	// LockRCU keeps each shard as an immutable snapshot plus two delta
+	// overlays behind atomic pointers: reads pin an epoch and never touch
+	// a lock, writers serialize per shard and append to a bounded delta,
+	// and a background goroutine folds the delta into a fresh snapshot.
 	LockRCU
 )
 
@@ -51,9 +53,14 @@ func (m LockMode) String() string {
 	return fmt.Sprintf("LockMode(%d)", uint8(m))
 }
 
-// DefaultDeltaCap is the LockRCU delta size that triggers a snapshot merge
-// when Config.DeltaCap is zero.
+// DefaultDeltaCap is the LockRCU sorted-delta size that schedules a
+// background snapshot merge when Config.DeltaCap is zero.
 const DefaultDeltaCap = 1024
+
+// DefaultDeltaBoundFactor sets Config.DeltaBound to this multiple of
+// DeltaCap when zero: writers may run ahead of an in-flight merge by up
+// to factor× the merge trigger before backpressure blocks them.
+const DefaultDeltaBoundFactor = 4
 
 // Config sizes a Sharded instance.
 type Config struct {
@@ -61,9 +68,16 @@ type Config struct {
 	Shards int
 	// Mode selects the per-shard concurrency scheme (default LockRW).
 	Mode LockMode
-	// DeltaCap is the per-shard delta size that triggers an RCU snapshot
-	// merge (LockRCU only; 0 selects DefaultDeltaCap).
+	// DeltaCap is the per-shard sorted-delta size that schedules a
+	// background RCU snapshot merge (LockRCU only; 0 selects
+	// DefaultDeltaCap).
 	DeltaCap int
+	// DeltaBound is the hard per-shard sorted-delta size: a writer about
+	// to grow the delta past it while a merge is in flight blocks until
+	// the merge completes (LockRCU only; 0 selects
+	// DefaultDeltaBoundFactor×DeltaCap, values below DeltaCap are raised
+	// to DeltaCap).
+	DeltaBound int
 	// MetricsPrefix, when non-empty, attaches one obs.Metrics bundle per
 	// shard named "<prefix>-shard<i>"; per-op counters and latency
 	// histograms are recorded into the owning shard's bundle and
@@ -93,6 +107,17 @@ type Sharded struct {
 	rcu    []*rcuShard
 	hook   obs.Hook // external recorder for structural events
 	mets   []*obs.Metrics
+
+	// epoch is the reclamation domain shared by all RCU shards: one pin
+	// covers a whole cross-shard batch (epoch.go).
+	epoch epochDomain
+
+	// Buffer pools. scratch holds *batchScratch group buffers reused
+	// across batched calls; drecs and recs recycle delta and snapshot
+	// buffers handed back by the epoch domain.
+	scratch sync.Pool
+	drecs   sync.Pool
+	recs    sync.Pool
 }
 
 // rwShard is one LockRW shard.
@@ -103,31 +128,42 @@ type rwShard struct {
 
 // snapshot is the immutable read side of one LockRCU shard: the sorted
 // records and a read-optimized index built over them. recs is never
-// mutated after publication.
+// mutated after publication. owned marks recs as pool-recyclable — the
+// initial snapshot borrows the caller's bulk-build slice and must never
+// be recycled into a write target.
 type snapshot struct {
-	recs []core.KV
-	ix   Index
+	recs  []core.KV
+	ix    Index
+	owned bool
 }
 
-// deltaRec is one copy-on-write delta entry; del marks a tombstone.
+// deltaRec is one delta entry; del marks a tombstone.
 type deltaRec struct {
 	key core.Key
 	val core.Value
 	del bool
 }
 
-// rcuShard is one LockRCU shard. Readers load snap then delta (both
-// atomic, lock-free); writers serialize on mu, publish grown copies of the
-// delta, and on overflow merge delta into a new snapshot and swap.
+// rcuShard is one LockRCU shard. Readers pin the parent epoch domain and
+// load active → frozen → snap (all atomic, lock-free); writers serialize
+// on mu and append into the active delta's tail; background merges fold
+// frozen into a new snapshot (rcu.go).
 type rcuShard struct {
-	snap  atomic.Pointer[snapshot]
-	delta atomic.Pointer[[]deltaRec]
-	size  atomic.Int64
-	mu    sync.Mutex
+	snap   atomic.Pointer[snapshot]
+	active atomic.Pointer[delta]
+	frozen atomic.Pointer[delta]
+	size   atomic.Int64
 
-	cap    int
+	mu        sync.Mutex
+	mergeCond *sync.Cond // signaled when a background merge finishes
+	merging   bool
+	closed    bool
+
+	cap    int // sorted-delta size that schedules a background merge
+	bound  int // sorted-delta size at which writers block (backpressure)
 	build  func(recs []core.KV) (Index, error)
 	swaps  atomic.Uint64
+	stalls atomic.Uint64 // writer backpressure waits, for tests/stats
 	parent *Sharded
 	id     int
 }
@@ -142,6 +178,12 @@ func New(recs []core.KV, cfg Config, b Builders) (*Sharded, error) {
 	}
 	if cfg.DeltaCap <= 0 {
 		cfg.DeltaCap = DefaultDeltaCap
+	}
+	if cfg.DeltaBound <= 0 {
+		cfg.DeltaBound = DefaultDeltaBoundFactor * cfg.DeltaCap
+	}
+	if cfg.DeltaBound < cfg.DeltaCap {
+		cfg.DeltaBound = cfg.DeltaCap
 	}
 	switch cfg.Mode {
 	case LockRW:
@@ -167,6 +209,7 @@ func New(recs []core.KV, cfg Config, b Builders) (*Sharded, error) {
 		}
 	}
 	parts := router.Partition(recs)
+	tail := tailCap(cfg.DeltaCap)
 
 	// Parallel bulk build: one goroutine per shard, errgroup-style join.
 	built := make([]any, cfg.Shards)
@@ -198,10 +241,14 @@ func New(recs []core.KV, cfg Config, b Builders) (*Sharded, error) {
 					errs[i] = err
 					return
 				}
-				sh := &rcuShard{cap: cfg.DeltaCap, build: b.Static, parent: s, id: i}
+				sh := &rcuShard{
+					cap: cfg.DeltaCap, bound: cfg.DeltaBound,
+					build: b.Static, parent: s, id: i,
+				}
+				sh.mergeCond = sync.NewCond(&sh.mu)
 				sh.snap.Store(&snapshot{recs: part, ix: ix})
-				empty := []deltaRec{}
-				sh.delta.Store(&empty)
+				sh.active.Store(&delta{tail: make([]deltaRec, tail)})
+				sh.frozen.Store(&emptyDelta)
 				sh.size.Store(int64(len(part)))
 				built[i] = sh
 			}
@@ -228,6 +275,20 @@ func New(recs []core.KV, cfg Config, b Builders) (*Sharded, error) {
 	return s, nil
 }
 
+// tailCap sizes the delta append tail: half the merge trigger, clamped
+// to [8, 128] so point reads scan a bounded tail and folds amortize over
+// enough appends.
+func tailCap(deltaCap int) int {
+	t := deltaCap / 2
+	if t < 8 {
+		t = 8
+	}
+	if t > 128 {
+		t = 128
+	}
+	return t
+}
+
 // SetObserver routes structural events (RCU snapshot swaps, labeled with
 // the emitting shard) into r; nil detaches.
 func (s *Sharded) SetObserver(r obs.Recorder) { s.hook.SetRecorder(r) }
@@ -244,6 +305,42 @@ func (s *Sharded) Shards() int { return s.router.Shards() }
 
 // Router returns the key→shard router.
 func (s *Sharded) Router() Router { return s.router }
+
+// ---------------------------------------------------------------------------
+// Buffer pools
+// ---------------------------------------------------------------------------
+
+// getDrec returns a pooled deltaRec buffer (length 0) with capacity ≥ n.
+func (s *Sharded) getDrec(n int) *[]deltaRec {
+	if p, _ := s.drecs.Get().(*[]deltaRec); p != nil && cap(*p) >= n {
+		*p = (*p)[:0]
+		return p
+	}
+	b := make([]deltaRec, 0, n)
+	return &b
+}
+
+func (s *Sharded) putDrec(p *[]deltaRec) { s.drecs.Put(p) }
+
+// getTail returns a pooled full-length tail buffer of length n. Entries
+// above the published tailLen are garbage by design — readers never look
+// past the atomic length.
+func (s *Sharded) getTail(n int) []deltaRec {
+	p := s.getDrec(n)
+	return (*p)[:n]
+}
+
+// getRecs returns a pooled KV buffer (length 0) with capacity ≥ n.
+func (s *Sharded) getRecs(n int) *[]core.KV {
+	if p, _ := s.recs.Get().(*[]core.KV); p != nil && cap(*p) >= n {
+		*p = (*p)[:0]
+		return p
+	}
+	b := make([]core.KV, 0, n)
+	return &b
+}
+
+func (s *Sharded) putRecs(p *[]core.KV) { s.recs.Put(p) }
 
 // ---------------------------------------------------------------------------
 // Point operations
@@ -374,6 +471,56 @@ func (s *Sharded) RCUSwaps() uint64 {
 	return n
 }
 
+// RCUStalls returns the total number of writer backpressure waits — times
+// a writer blocked because the active delta hit DeltaBound while a merge
+// was in flight (0 in LockRW mode).
+func (s *Sharded) RCUStalls() uint64 {
+	var n uint64
+	for _, sh := range s.rcu {
+		n += sh.stalls.Load()
+	}
+	return n
+}
+
+// EpochReclaims returns the number of retired buffers the epoch domain
+// has recycled so far (0 in LockRW mode).
+func (s *Sharded) EpochReclaims() uint64 { return s.epoch.reclaims.Load() }
+
+// DeltaLen returns the record count currently overlaying RCU shard i's
+// snapshot (active + frozen, sorted + tail); 0 in LockRW mode.
+func (s *Sharded) DeltaLen(i int) int {
+	if s.mode != LockRCU {
+		return 0
+	}
+	sh := s.rcu[i]
+	return sh.active.Load().overlay() + sh.frozen.Load().overlay()
+}
+
+// DeltaCeiling returns the guaranteed upper bound on any single delta
+// level's overlay under write saturation: DeltaBound plus the append
+// tail size. The conform stress tier asserts DeltaLen never exceeds
+// twice this (active + frozen each obey it).
+func (s *Sharded) DeltaCeiling() int {
+	if s.mode != LockRCU || len(s.rcu) == 0 {
+		return 0
+	}
+	sh := s.rcu[0]
+	return sh.bound + len(sh.active.Load().tail)
+}
+
+// WaitMerges blocks until every RCU shard has drained its merge
+// pipeline: in-flight background merges complete and cap-exceeding
+// active deltas are merged too. A no-op in LockRW mode. Intended for
+// tests and benchmarks that need deterministic swap counts; with
+// concurrent writers the pipeline may refill immediately.
+func (s *Sharded) WaitMerges() {
+	for _, sh := range s.rcu {
+		sh.mu.Lock()
+		sh.waitMergesLocked()
+		sh.mu.Unlock()
+	}
+}
+
 // Stats aggregates the per-shard structure statistics.
 func (s *Sharded) Stats() core.Stats {
 	agg := core.Stats{Name: fmt.Sprintf("sharded-%s(%d)", s.mode, s.Shards())}
@@ -389,7 +536,7 @@ func (s *Sharded) Stats() core.Stats {
 			snap := sh.snap.Load()
 			st = snap.ix.Stats()
 			st.Count = int(sh.size.Load())
-			st.IndexBytes += len(*sh.delta.Load()) * 24
+			st.IndexBytes += s.DeltaLen(i) * 24
 		}
 		agg.Count += st.Count
 		agg.IndexBytes += st.IndexBytes
@@ -449,22 +596,24 @@ func (s *Sharded) shardRange(si int, lo, hi core.Key, fn func(core.Key, core.Val
 }
 
 // SearchRange collects every record with lo <= key <= hi, fanning the scan
-// out across the covered shards in parallel and concatenating the
-// per-shard results in shard order (range partitioning makes concatenation
-// the ordered merge). The result is always non-nil: an empty index, an
-// empty shard or an empty interval all yield an empty slice, pinning the
-// façade-wide empty-slice normalization.
+// out across the covered shards in parallel (on multi-core hosts) and
+// concatenating the per-shard results in shard order (range partitioning
+// makes concatenation the ordered merge). The result is always non-nil:
+// an empty index, an empty shard or an empty interval all yield an empty
+// slice, pinning the façade-wide empty-slice normalization.
 func (s *Sharded) SearchRange(lo, hi core.Key) []core.KV {
 	out := []core.KV{}
 	if lo > hi {
 		return out
 	}
 	first, last := s.router.Route(lo), s.router.Route(hi)
-	if first == last {
-		s.shardRange(first, lo, hi, func(k core.Key, v core.Value) bool {
-			out = append(out, core.KV{Key: k, Value: v})
-			return true
-		})
+	if first == last || runtime.GOMAXPROCS(0) == 1 {
+		for si := first; si <= last; si++ {
+			s.shardRange(si, lo, hi, func(k core.Key, v core.Value) bool {
+				out = append(out, core.KV{Key: k, Value: v})
+				return true
+			})
+		}
 		return out
 	}
 	parts := make([][]core.KV, last-first+1)
@@ -492,135 +641,481 @@ func (s *Sharded) SearchRange(lo, hi core.Key) []core.KV {
 // Batched operations
 // ---------------------------------------------------------------------------
 
-// shardGroups partitions the positions 0..n-1 of keys by owning shard.
-func (s *Sharded) shardGroups(keys []core.Key) map[int][]int {
-	groups := make(map[int][]int)
-	for i, k := range keys {
-		si := s.router.Route(k)
-		groups[si] = append(groups[si], i)
-	}
-	return groups
+// batchParallelMin is the batch size below which per-shard groups are
+// executed inline on the calling goroutine: the fan-out only pays for
+// itself once per-shard work outweighs goroutine handoff (and never on a
+// single-core host). The allocation regression tier relies on sizes
+// below this staying on the inline (allocation-free) path.
+const batchParallelMin = 512
+
+func (s *Sharded) parallelBatch(n int) bool {
+	return n >= batchParallelMin && s.Shards() > 1 && runtime.GOMAXPROCS(0) > 1
 }
 
-// LookupBatch resolves keys in one pass, grouping them by shard so each
-// shard's lock is acquired once per batch and shards proceed in parallel.
-// vals[i], oks[i] answer keys[i].
+// batchScratch is the reusable counting-sort workspace for batch
+// grouping, pooled on the Sharded so grouping allocates nothing in
+// steady state. idx[starts[si]:starts[si+1]] lists the input positions
+// owned by shard si, preserving input order — the order batch semantics
+// (later-wins upserts, first-wins deletes) depend on.
+type batchScratch struct {
+	shardOf []int32
+	starts  []int32
+	cur     []int32
+	idx     []int32
+}
+
+func (sc *batchScratch) grow(n, shards int) {
+	if cap(sc.shardOf) < n {
+		sc.shardOf = make([]int32, n)
+		sc.idx = make([]int32, n)
+	}
+	sc.shardOf = sc.shardOf[:n]
+	sc.idx = sc.idx[:n]
+	if cap(sc.starts) < shards+1 {
+		sc.starts = make([]int32, shards+1)
+		sc.cur = make([]int32, shards)
+	}
+	sc.starts = sc.starts[:shards+1]
+	sc.cur = sc.cur[:shards]
+}
+
+// fill builds starts/idx from shardOf (with per-shard counts already in
+// cur) by counting sort: prefix-sum, then stable placement.
+func (sc *batchScratch) fill(shards int) {
+	off := int32(0)
+	for si := 0; si < shards; si++ {
+		sc.starts[si] = off
+		off += sc.cur[si]
+		sc.cur[si] = sc.starts[si]
+	}
+	sc.starts[shards] = off
+	for i, si := range sc.shardOf {
+		sc.idx[sc.cur[si]] = int32(i)
+		sc.cur[si]++
+	}
+}
+
+func (s *Sharded) getScratch() *batchScratch {
+	if sc, _ := s.scratch.Get().(*batchScratch); sc != nil {
+		return sc
+	}
+	return &batchScratch{}
+}
+
+func (s *Sharded) putScratch(sc *batchScratch) { s.scratch.Put(sc) }
+
+// groupKeys groups keys by owning shard. When every key routes to the
+// same shard — the common case for clustered keys under range
+// partitioning — it returns that shard and skips the counting sort
+// entirely; callers then process keys in input order with a nil idx.
+// Otherwise it returns -1 with starts/idx filled.
+func (s *Sharded) groupKeys(keys []core.Key, sc *batchScratch) int {
+	ns := s.router.Shards()
+	sc.grow(len(keys), ns)
+	for i := range sc.cur {
+		sc.cur[i] = 0
+	}
+	first := int32(s.router.Route(keys[0]))
+	single := true
+	for i, k := range keys {
+		si := int32(s.router.Route(k))
+		sc.shardOf[i] = si
+		sc.cur[si]++
+		single = single && si == first
+	}
+	if single {
+		return int(first)
+	}
+	sc.fill(ns)
+	return -1
+}
+
+// groupRecs is groupKeys over record keys.
+func (s *Sharded) groupRecs(recs []core.KV, sc *batchScratch) int {
+	ns := s.router.Shards()
+	sc.grow(len(recs), ns)
+	for i := range sc.cur {
+		sc.cur[i] = 0
+	}
+	first := int32(s.router.Route(recs[0].Key))
+	single := true
+	for i := range recs {
+		si := int32(s.router.Route(recs[i].Key))
+		sc.shardOf[i] = si
+		sc.cur[si]++
+		single = single && si == first
+	}
+	if single {
+		return int(first)
+	}
+	sc.fill(ns)
+	return -1
+}
+
+// LookupBatchInto resolves keys in one pass, writing answers into the
+// caller-supplied vals and oks slices (len(keys) each): zero allocations
+// in steady state, pinned by the allocation regression tier.
+//
+// Small batches run a lock-coalescing loop: keys are answered in input
+// order, holding a shard's read lock only while consecutive keys stay in
+// that shard — one lock acquisition per batch for clustered keys, never
+// more than looped Gets for scattered ones, and no grouping pass at all
+// (RCU shards take no lock either way; the whole batch runs under one
+// epoch pin). Large batches on multi-core hosts are grouped by shard
+// with a pooled counting sort and fan out one goroutine per shard.
+func (s *Sharded) LookupBatchInto(keys []core.Key, vals []core.Value, oks []bool) {
+	if len(vals) != len(keys) || len(oks) != len(keys) {
+		panic("shard: LookupBatchInto: vals/oks length must equal len(keys)")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	if !s.parallelBatch(len(keys)) && s.mets == nil {
+		s.lookupCoalesced(keys, vals, oks)
+		return
+	}
+	sc := s.getScratch()
+	single := s.groupKeys(keys, sc)
+	var slot *epochSlot
+	if s.mode == LockRCU {
+		slot = s.epoch.pin()
+	}
+	if single >= 0 {
+		s.lookupGroup(single, nil, keys, vals, oks)
+	} else if s.parallelBatch(len(keys)) {
+		var wg sync.WaitGroup
+		for si := 0; si < s.Shards(); si++ {
+			b, e := sc.starts[si], sc.starts[si+1]
+			if b == e {
+				continue
+			}
+			wg.Add(1)
+			go func(si int, idx []int32) {
+				defer wg.Done()
+				s.lookupGroup(si, idx, keys, vals, oks)
+			}(si, sc.idx[b:e])
+		}
+		wg.Wait()
+	} else {
+		for si := 0; si < s.Shards(); si++ {
+			if b, e := sc.starts[si], sc.starts[si+1]; b != e {
+				s.lookupGroup(si, sc.idx[b:e], keys, vals, oks)
+			}
+		}
+	}
+	if slot != nil {
+		s.epoch.unpin(slot)
+	}
+	s.putScratch(sc)
+}
+
+// lookupCoalesced is the small-batch lookup path: in-order with
+// coalesced locking, no grouping, no allocations, no per-shard metric
+// attribution (callers route metric-attached layers through the grouped
+// path instead).
+func (s *Sharded) lookupCoalesced(keys []core.Key, vals []core.Value, oks []bool) {
+	if s.mode == LockRCU {
+		slot := s.epoch.pin()
+		for i, k := range keys {
+			vals[i], oks[i] = s.rcu[s.router.Route(k)].read(k)
+		}
+		s.epoch.unpin(slot)
+		return
+	}
+	last := -1
+	var sh *rwShard
+	for i, k := range keys {
+		if si := s.router.Route(k); si != last {
+			if sh != nil {
+				sh.mu.RUnlock()
+			}
+			sh = s.rw[si]
+			sh.mu.RLock()
+			last = si
+		}
+		vals[i], oks[i] = sh.ix.Get(k)
+	}
+	sh.mu.RUnlock()
+}
+
+// LookupBatch resolves keys in one pass. vals[i], oks[i] answer keys[i].
 func (s *Sharded) LookupBatch(keys []core.Key) (vals []core.Value, oks []bool) {
 	vals = make([]core.Value, len(keys))
 	oks = make([]bool, len(keys))
-	groups := s.shardGroups(keys)
-	var wg sync.WaitGroup
-	for si, idxs := range groups {
-		wg.Add(1)
-		go func(si int, idxs []int) {
-			defer wg.Done()
-			if s.mode == LockRW {
-				sh := s.rw[si]
-				sh.mu.RLock()
-				for _, i := range idxs {
-					vals[i], oks[i] = sh.ix.Get(keys[i])
-				}
-				sh.mu.RUnlock()
-			} else {
-				sh := s.rcu[si]
-				for _, i := range idxs {
-					vals[i], oks[i] = sh.get(keys[i])
-				}
-			}
-			if s.mets != nil {
-				m := s.mets[si]
-				m.Lookups.Add(uint64(len(idxs)))
-				for _, i := range idxs {
-					if oks[i] {
-						m.Hits.Inc()
-					}
-				}
-			}
-		}(si, idxs)
-	}
-	wg.Wait()
+	s.LookupBatchInto(keys, vals, oks)
 	return vals, oks
 }
 
-// InsertBatch upserts recs, grouping them by shard so each shard's write
-// lock is acquired once per batch (and, in RCU mode, the whole per-shard
-// group lands in one copy-on-write delta publication).
-func (s *Sharded) InsertBatch(recs []core.KV) {
-	keys := make([]core.Key, len(recs))
-	for i := range recs {
-		keys[i] = recs[i].Key
+// lookupGroup resolves one shard's group. A nil idx means the whole
+// batch routed to this shard: keys are processed in input order with no
+// index indirection (the single-shard fast path).
+func (s *Sharded) lookupGroup(si int, idx []int32, keys []core.Key, vals []core.Value, oks []bool) {
+	hits, n := 0, len(idx)
+	if idx == nil {
+		n = len(keys)
 	}
-	groups := s.shardGroups(keys)
-	var wg sync.WaitGroup
-	for si, idxs := range groups {
-		wg.Add(1)
-		go func(si int, idxs []int) {
-			defer wg.Done()
-			if s.mode == LockRW {
-				sh := s.rw[si]
-				sh.mu.Lock()
-				for _, i := range idxs {
-					sh.ix.Insert(recs[i].Key, recs[i].Value)
+	if s.mode == LockRW {
+		sh := s.rw[si]
+		sh.mu.RLock()
+		if idx == nil {
+			for i, k := range keys {
+				vals[i], oks[i] = sh.ix.Get(k)
+				if oks[i] {
+					hits++
 				}
-				sh.mu.Unlock()
-			} else {
-				group := make([]core.KV, len(idxs))
-				for j, i := range idxs {
-					group[j] = recs[i]
+			}
+		} else {
+			for _, i := range idx {
+				vals[i], oks[i] = sh.ix.Get(keys[i])
+				if oks[i] {
+					hits++
 				}
-				s.rcu[si].insertBatch(group)
 			}
-			if s.mets != nil {
-				s.mets[si].Inserts.Add(uint64(len(idxs)))
+		}
+		sh.mu.RUnlock()
+	} else {
+		sh := s.rcu[si]
+		if idx == nil {
+			for i, k := range keys {
+				vals[i], oks[i] = sh.read(k)
+				if oks[i] {
+					hits++
+				}
 			}
-		}(si, idxs)
+		} else {
+			for _, i := range idx {
+				vals[i], oks[i] = sh.read(keys[i])
+				if oks[i] {
+					hits++
+				}
+			}
+		}
 	}
-	wg.Wait()
+	if s.mets != nil {
+		m := s.mets[si]
+		m.Lookups.Add(uint64(n))
+		m.Hits.Add(uint64(hits))
+	}
 }
 
-// DeleteBatch removes keys, grouping them by shard so each shard's write
-// lock is acquired once per batch. oks[i] reports whether keys[i] was
-// present, with sequential semantics: within one batch, the first
+// InsertBatch upserts recs in one pass. Small batches apply in input
+// order with coalesced locking — a shard's write lock is held while
+// consecutive records stay in that shard, which preserves sequential
+// later-wins semantics by construction. Large batches on multi-core
+// hosts group by shard and fan out one goroutine per shard (input order
+// within each shard, so cross-batch duplicates still resolve
+// later-wins).
+func (s *Sharded) InsertBatch(recs []core.KV) {
+	if len(recs) == 0 {
+		return
+	}
+	if !s.parallelBatch(len(recs)) && s.mets == nil {
+		s.insertCoalesced(recs)
+		return
+	}
+	sc := s.getScratch()
+	single := s.groupRecs(recs, sc)
+	if single >= 0 {
+		s.insertGroup(single, nil, recs)
+	} else if s.parallelBatch(len(recs)) {
+		var wg sync.WaitGroup
+		for si := 0; si < s.Shards(); si++ {
+			b, e := sc.starts[si], sc.starts[si+1]
+			if b == e {
+				continue
+			}
+			wg.Add(1)
+			go func(si int, idx []int32) {
+				defer wg.Done()
+				s.insertGroup(si, idx, recs)
+			}(si, sc.idx[b:e])
+		}
+		wg.Wait()
+	} else {
+		for si := 0; si < s.Shards(); si++ {
+			if b, e := sc.starts[si], sc.starts[si+1]; b != e {
+				s.insertGroup(si, sc.idx[b:e], recs)
+			}
+		}
+	}
+	s.putScratch(sc)
+}
+
+// insertGroup applies one shard's group; nil idx means the whole batch
+// (input order, no indirection).
+func (s *Sharded) insertGroup(si int, idx []int32, recs []core.KV) {
+	n := len(idx)
+	if idx == nil {
+		n = len(recs)
+	}
+	if s.mode == LockRW {
+		sh := s.rw[si]
+		sh.mu.Lock()
+		if idx == nil {
+			for i := range recs {
+				sh.ix.Insert(recs[i].Key, recs[i].Value)
+			}
+		} else {
+			for _, i := range idx {
+				sh.ix.Insert(recs[i].Key, recs[i].Value)
+			}
+		}
+		sh.mu.Unlock()
+	} else {
+		s.rcu[si].insertGroup(recs, idx)
+	}
+	if s.mets != nil {
+		s.mets[si].Inserts.Add(uint64(n))
+	}
+}
+
+// insertCoalesced is the small-batch insert path: in-order with
+// coalesced locking, no grouping pass.
+func (s *Sharded) insertCoalesced(recs []core.KV) {
+	last := -1
+	if s.mode == LockRW {
+		var sh *rwShard
+		for i := range recs {
+			if si := s.router.Route(recs[i].Key); si != last {
+				if sh != nil {
+					sh.mu.Unlock()
+				}
+				sh = s.rw[si]
+				sh.mu.Lock()
+				last = si
+			}
+			sh.ix.Insert(recs[i].Key, recs[i].Value)
+		}
+		sh.mu.Unlock()
+		return
+	}
+	var sh *rcuShard
+	for i := range recs {
+		if si := s.router.Route(recs[i].Key); si != last {
+			if sh != nil {
+				sh.mu.Unlock()
+			}
+			sh = s.rcu[si]
+			sh.mu.Lock()
+			last = si
+		}
+		sh.applyInsertLocked(recs[i])
+	}
+	sh.mu.Unlock()
+}
+
+// DeleteBatch removes keys in one pass. oks[i] reports whether keys[i]
+// was present, with sequential semantics: within one batch, the first
 // occurrence of a duplicated key reports its liveness and later
 // occurrences report false — exactly what a sequential Delete loop would
-// observe.
+// observe. Small batches apply in input order with coalesced locking;
+// large batches on multi-core hosts group by shard and fan out.
 func (s *Sharded) DeleteBatch(keys []core.Key) []bool {
 	oks := make([]bool, len(keys))
-	groups := s.shardGroups(keys)
-	var wg sync.WaitGroup
-	for si, idxs := range groups {
-		wg.Add(1)
-		go func(si int, idxs []int) {
-			defer wg.Done()
-			if s.mode == LockRW {
-				sh := s.rw[si]
-				sh.mu.Lock()
-				for _, i := range idxs {
-					oks[i] = sh.ix.Delete(keys[i])
-				}
-				sh.mu.Unlock()
-			} else {
-				group := make([]core.Key, len(idxs))
-				for j, i := range idxs {
-					group[j] = keys[i]
-				}
-				for j, ok := range s.rcu[si].deleteBatch(group) {
-					oks[idxs[j]] = ok
-				}
-			}
-			if s.mets != nil {
-				s.mets[si].Deletes.Add(uint64(len(idxs)))
-			}
-		}(si, idxs)
+	if len(keys) == 0 {
+		return oks
 	}
-	wg.Wait()
+	if !s.parallelBatch(len(keys)) && s.mets == nil {
+		s.deleteCoalesced(keys, oks)
+		return oks
+	}
+	sc := s.getScratch()
+	single := s.groupKeys(keys, sc)
+	if single >= 0 {
+		s.deleteGroup(single, nil, keys, oks)
+	} else if s.parallelBatch(len(keys)) {
+		var wg sync.WaitGroup
+		for si := 0; si < s.Shards(); si++ {
+			b, e := sc.starts[si], sc.starts[si+1]
+			if b == e {
+				continue
+			}
+			wg.Add(1)
+			go func(si int, idx []int32) {
+				defer wg.Done()
+				s.deleteGroup(si, idx, keys, oks)
+			}(si, sc.idx[b:e])
+		}
+		wg.Wait()
+	} else {
+		for si := 0; si < s.Shards(); si++ {
+			if b, e := sc.starts[si], sc.starts[si+1]; b != e {
+				s.deleteGroup(si, sc.idx[b:e], keys, oks)
+			}
+		}
+	}
+	s.putScratch(sc)
 	return oks
 }
 
-// Close forwards Close to every shard backend with the io.Closer
-// capability, returning the first error. Shard backends are in-memory
-// today, so this is usually a no-op, but the capability must survive the
-// wrapper for stacks built over closeable backends.
+// deleteGroup applies one shard's group; nil idx means the whole batch
+// (input order, no indirection).
+func (s *Sharded) deleteGroup(si int, idx []int32, keys []core.Key, oks []bool) {
+	n := len(idx)
+	if idx == nil {
+		n = len(keys)
+	}
+	if s.mode == LockRW {
+		sh := s.rw[si]
+		sh.mu.Lock()
+		if idx == nil {
+			for i, k := range keys {
+				oks[i] = sh.ix.Delete(k)
+			}
+		} else {
+			for _, i := range idx {
+				oks[i] = sh.ix.Delete(keys[i])
+			}
+		}
+		sh.mu.Unlock()
+	} else {
+		s.rcu[si].deleteGroup(keys, idx, oks)
+	}
+	if s.mets != nil {
+		s.mets[si].Deletes.Add(uint64(n))
+	}
+}
+
+// deleteCoalesced is the small-batch delete path: in-order with
+// coalesced locking, no grouping pass.
+func (s *Sharded) deleteCoalesced(keys []core.Key, oks []bool) {
+	last := -1
+	if s.mode == LockRW {
+		var sh *rwShard
+		for i, k := range keys {
+			if si := s.router.Route(k); si != last {
+				if sh != nil {
+					sh.mu.Unlock()
+				}
+				sh = s.rw[si]
+				sh.mu.Lock()
+				last = si
+			}
+			oks[i] = sh.ix.Delete(k)
+		}
+		sh.mu.Unlock()
+		return
+	}
+	var sh *rcuShard
+	for i, k := range keys {
+		if si := s.router.Route(k); si != last {
+			if sh != nil {
+				sh.mu.Unlock()
+			}
+			sh = s.rcu[si]
+			sh.mu.Lock()
+			last = si
+		}
+		oks[i] = sh.applyDeleteLocked(k)
+	}
+	sh.mu.Unlock()
+}
+
+// Close drains in-flight background merges, then forwards Close to every
+// shard backend with the io.Closer capability, returning the first
+// error. Shard backends are in-memory today, so the backend half is
+// usually a no-op, but the capability must survive the wrapper for
+// stacks built over closeable backends.
 func (s *Sharded) Close() error {
 	var first error
 	closeIx := func(ix Index) {
@@ -640,8 +1135,13 @@ func (s *Sharded) Close() error {
 	}
 	for _, sh := range s.rcu {
 		sh.mu.Lock()
+		sh.closed = true // stop scheduleLocked from spawning new merges
+		for sh.merging {
+			sh.mergeCond.Wait()
+		}
 		closeIx(sh.snap.Load().ix)
 		sh.mu.Unlock()
 	}
+	s.epoch.collect()
 	return first
 }

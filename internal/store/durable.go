@@ -73,11 +73,12 @@ type Durable struct {
 	ix MutableIndex
 	// Batch capabilities of the wrapped index, detected once at assemble;
 	// nil fields fall back to per-record loops.
-	batchLookup core.BatchLookuper
-	batchInsert core.BatchInserter
-	batchDelete core.BatchDeleter
-	route       Router
-	segments    int
+	batchLookup     core.BatchLookuper
+	batchLookupInto core.BatchLookuperInto
+	batchInsert     core.BatchInserter
+	batchDelete     core.BatchDeleter
+	route           Router
+	segments        int
 	// concReads: the wrapped index tolerates reads concurrent with writes,
 	// so readers skip the per-segment lock.
 	concReads bool
@@ -332,6 +333,7 @@ func assemble(dir string, cfg Config, res BuildResult, meta map[string]string, g
 		stop:   make(chan struct{}),
 	}
 	d.batchLookup, _ = res.Index.(core.BatchLookuper)
+	d.batchLookupInto, _ = res.Index.(core.BatchLookuperInto)
 	d.batchInsert, _ = res.Index.(core.BatchInserter)
 	d.batchDelete, _ = res.Index.(core.BatchDeleter)
 	if cfg.Metrics != nil {
@@ -609,6 +611,20 @@ func (d *Durable) LookupBatch(keys []core.Key) ([]core.Value, []bool) {
 		vals[i], oks[i] = d.Get(k)
 	}
 	return vals, oks
+}
+
+// LookupBatchInto is the allocation-free batched read path: answers are
+// written into the caller's vals and oks slices, delegating to the
+// wrapped index's zero-alloc path when it has one. Reads never touch
+// the WAL, so the durable layer adds nothing but the forward.
+func (d *Durable) LookupBatchInto(keys []core.Key, vals []core.Value, oks []bool) {
+	if d.batchLookupInto != nil && d.concReads {
+		d.batchLookupInto.LookupBatchInto(keys, vals, oks)
+		return
+	}
+	for i, k := range keys {
+		vals[i], oks[i] = d.Get(k)
+	}
 }
 
 // LookupBatchSpan is the span-aware read path: the durable layer adds no

@@ -146,6 +146,25 @@ func (o *ObservedIndex) LookupBatch(keys []Key) ([]Value, []bool) {
 	return vals, oks
 }
 
+// LookupBatchInto is the allocation-free batched read path: answers land
+// in the caller's vals and oks slices through the wrapped index's
+// zero-alloc capability when it has one. The same batch metrics are
+// recorded as LookupBatch — the metrics bundle's counters and histograms
+// are preallocated, so the whole call stays allocation-free.
+func (o *ObservedIndex) LookupBatchInto(keys []Key, vals []Value, oks []bool) {
+	start := time.Now()
+	core.LookupBatchInto(o.idx, keys, vals, oks)
+	o.m.BatchNS.Observe(uint64(time.Since(start)))
+	o.m.BatchLen.Observe(uint64(len(keys)))
+	o.m.Batches.Inc()
+	o.m.Lookups.Add(uint64(len(keys)))
+	for _, ok := range oks {
+		if ok {
+			o.m.Hits.Inc()
+		}
+	}
+}
+
 // LookupBatchSpan is LookupBatch with span forwarding: the same batch
 // metrics are recorded, then the batch routes to the wrapped index's
 // span-aware path (when it has one) so a Durable below this wrapper can

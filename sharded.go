@@ -40,9 +40,13 @@ type ShardedConfig struct {
 	// Snapshot is the per-shard read-optimized index kind for ShardRCU
 	// mode, one of Static1DKinds ("" selects "pgm").
 	Snapshot string
-	// DeltaCap is the per-shard delta size that triggers an RCU snapshot
-	// merge (0 selects the shard package default).
+	// DeltaCap is the per-shard delta size that schedules a background RCU
+	// snapshot merge (0 selects the shard package default).
 	DeltaCap int
+	// DeltaBound is the hard per-shard delta size: writers about to grow
+	// the delta past it while a merge is in flight block until the merge
+	// completes (0 selects 4×DeltaCap).
+	DeltaBound int
 	// MetricsPrefix, when non-empty, creates one Metrics bundle per shard
 	// named "<prefix>-shard<i>" (retrieve them with ShardMetrics).
 	MetricsPrefix string
@@ -88,6 +92,7 @@ func NewSharded(recs []KV, cfg ShardedConfig) (*Sharded, error) {
 		Shards:        cfg.Shards,
 		Mode:          cfg.Mode,
 		DeltaCap:      cfg.DeltaCap,
+		DeltaBound:    cfg.DeltaBound,
 		MetricsPrefix: cfg.MetricsPrefix,
 	}, b)
 }

@@ -28,9 +28,12 @@ type StackConfig struct {
 	// Snapshot is the per-shard read-optimized kind for ShardRCU mode
 	// ("" selects "pgm").
 	Snapshot string
-	// DeltaCap is the RCU delta size that triggers a snapshot merge
-	// (0 selects the shard package default).
+	// DeltaCap is the RCU delta size that schedules a background snapshot
+	// merge (0 selects the shard package default).
 	DeltaCap int
+	// DeltaBound is the hard RCU delta size at which writers block while a
+	// merge is in flight (0 selects 4×DeltaCap).
+	DeltaBound int
 	// Dir, when non-empty, inserts the durable layer: the stack is opened
 	// at (or created in) this directory with write-ahead logging and
 	// snapshot checkpoints.
@@ -123,6 +126,7 @@ func NewStack(recs []KV, cfg StackConfig) (*Stack, error) {
 			Backend:       cfg.Kind,
 			Snapshot:      cfg.Snapshot,
 			DeltaCap:      cfg.DeltaCap,
+			DeltaBound:    cfg.DeltaBound,
 			MetricsPrefix: cfg.ShardMetricsPrefix,
 		})
 		if err != nil {
@@ -182,6 +186,14 @@ func (s *Stack) Delete(k Key) bool { return s.top.Delete(k) }
 // capabilities. vals[i], oks[i] answer keys[i].
 func (s *Stack) LookupBatch(keys []Key) ([]Value, []bool) {
 	return core.LookupBatch(s.top, keys)
+}
+
+// LookupBatchInto is LookupBatch writing into caller-supplied vals and
+// oks slices (len(keys) each): with a sharded layer below, the whole
+// read path is allocation-free, so a serving loop can reuse its buffers
+// across batches indefinitely.
+func (s *Stack) LookupBatchInto(keys []Key, vals []Value, oks []bool) {
+	core.LookupBatchInto(s.top, keys, vals, oks)
 }
 
 // InsertBatch upserts recs in one pass: one WAL frame group and one group
