@@ -23,6 +23,9 @@
 //	lixbench -trace-overhead -quick            # tracing cost off/1%/100%
 //	                                           # vs no tracer; gates the
 //	                                           # disabled-sampling cost <2%
+//	lixbench -paged -quick                     # paged indexes: cold vs
+//	                                           # warm buffer-pool lookups;
+//	                                           # gates warm >= 3x cold
 //
 // Profiling and metrics:
 //
@@ -87,6 +90,8 @@ func main() {
 
 		batch = flag.String("batch", "", "batch mode: comma-separated batch sizes, e.g. '16,256,1024'")
 
+		paged = flag.Bool("paged", false, "paged mode: cold vs warm buffer-pool lookup throughput for the disk-backed paged indexes")
+
 		serveAddr = flag.String("serve-addr", "", "loadgen mode: drive a running lixserve at this address")
 		pipeline  = flag.Int("pipeline", 32, "loadgen mode: requests per pipelined group")
 		targetQPS = flag.Float64("target-qps", 0, "loadgen mode: open-loop aggregate request rate (0 = closed loop)")
@@ -146,6 +151,10 @@ func main() {
 	}
 	if *batch != "" {
 		runBatch(*batch, *shards, *n, *q, *seed, *quick, *rev, *benchOut)
+		return
+	}
+	if *paged {
+		runPaged(*n, *q, *seed, *quick, *rev, *benchOut)
 		return
 	}
 	if *durable {
@@ -330,6 +339,53 @@ func runBatch(sizeSpec string, shards, n, q int, seed int64, quick bool, rev, ou
 	}
 
 	tables, results, err := bench.RunBatch(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	if outDir != "" {
+		path := filepath.Join(outDir, "BENCH_"+rev+".json")
+		f := bench.BenchFile{Rev: rev}
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &f); err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+		}
+		f.Rev = rev
+		f.MergeResults(results)
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// runPaged executes the paged-storage benchmark (lixbench -paged):
+// random lookups against the disk-backed indexes through a buffer pool
+// far smaller than the dataset (cold) and one holding every page (warm).
+// With -bench-out the paged/... results — including the blocking
+// warm >= 3x cold intra-run floor — merge into an existing
+// BENCH_<rev>.json like the batch mode does.
+func runPaged(n, q int, seed int64, quick bool, rev, outDir string) {
+	cfg := bench.DefaultPagedConfig()
+	if quick {
+		cfg.N, cfg.Lookups = 60_000, 30_000
+	}
+	if n > 0 {
+		cfg.N = n
+	}
+	if q > 0 {
+		cfg.Lookups = q
+	}
+	cfg.Seed = seed
+
+	tables, results, err := bench.RunPaged(cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/dataset"
+	"github.com/lix-go/lix/internal/page"
+)
+
+// PagedConfig sizes the paged-storage benchmark (lixbench -paged): random
+// point lookups against the disk-backed indexes, once through a buffer
+// pool far smaller than the dataset (cold, every probe faults pages in
+// from disk) and once through a pool big enough to hold every page (warm,
+// the steady state after the working set is resident).
+type PagedConfig struct {
+	// N is the bulk-loaded dataset size.
+	N int `json:"n"`
+	// Lookups is the number of random point lookups per measurement.
+	Lookups int `json:"lookups"`
+	// ColdFrames is the cold run's buffer-pool frame budget. The default
+	// holds well under 1% of the dataset's pages, so the cold run is
+	// dominated by page faults and CLOCK evictions.
+	ColdFrames int `json:"cold_frames"`
+	// Seed drives key generation and probe sampling.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultPagedConfig is the scale used for the committed baseline.
+func DefaultPagedConfig() PagedConfig {
+	return PagedConfig{N: 200_000, Lookups: 100_000, ColdFrames: 16, Seed: 7}
+}
+
+// pagedBenchIndex is the slice of the paged index API the benchmark
+// drives; both *page.BTree and *page.PGM satisfy it.
+type pagedBenchIndex interface {
+	Get(core.Key) (core.Value, bool)
+	PoolStats() page.PoolStats
+	Close() error
+}
+
+// PagedResultName returns the BenchResult name for one (kind, phase)
+// cell, e.g. "paged/paged-btree/lookup/cold".
+func PagedResultName(kind, phase string) string {
+	return fmt.Sprintf("paged/%s/lookup/%s", kind, phase)
+}
+
+// RunPaged measures cold-pool vs warm-pool random-lookup throughput for
+// both paged kinds. The warm results carry a blocking intra-run floor —
+// warm must be at least 3x cold — which pins the structural promise of
+// the buffer pool: serving from resident frames must be far cheaper than
+// faulting pages in, on every machine, or caching is buying nothing.
+func RunPaged(cfg PagedConfig) ([]*Table, []BenchResult, error) {
+	if cfg.ColdFrames <= 0 {
+		cfg.ColdFrames = DefaultPagedConfig().ColdFrames
+	}
+	keys := mustKeys(dataset.Uniform, cfg.N, cfg.Seed)
+	recs := dataset.KV(keys)
+	r := newRand(cfg.Seed + 101)
+	probes := make([]core.Key, cfg.Lookups)
+	for i := range probes {
+		probes[i] = keys[r.Intn(len(keys))]
+	}
+
+	kinds := []struct {
+		name string
+		bulk func(path string, recs []core.KV, o page.Options) (pagedBenchIndex, error)
+		open func(path string, o page.Options) (pagedBenchIndex, error)
+	}{
+		{
+			name: page.KindBTree,
+			bulk: func(p string, r []core.KV, o page.Options) (pagedBenchIndex, error) { return page.BulkBTree(p, r, o) },
+			open: func(p string, o page.Options) (pagedBenchIndex, error) { return page.OpenBTree(p, o) },
+		},
+		{
+			name: page.KindPGM,
+			bulk: func(p string, r []core.KV, o page.Options) (pagedBenchIndex, error) { return page.BulkPGM(p, r, o) },
+			open: func(p string, o page.Options) (pagedBenchIndex, error) { return page.OpenPGM(p, o) },
+		},
+	}
+
+	dir, err := os.MkdirTemp("", "lixbench-paged")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	t := &Table{
+		ID: "PAGED",
+		Title: fmt.Sprintf("Paged lookup throughput, n=%d, cold pool %d frames vs all-resident (Kops/s)",
+			cfg.N, cfg.ColdFrames),
+		Columns: []string{"kind", "cold Kops", "warm Kops", "warm/cold", "cold miss%", "evictions"},
+	}
+	var results []BenchResult
+	for _, kind := range kinds {
+		path := filepath.Join(dir, kind.name+".lpx")
+		b, err := kind.bulk(path, recs, page.Options{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: bulk %s: %w", kind.name, err)
+		}
+		if err := b.Close(); err != nil {
+			return nil, nil, err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Enough frames for every page in the file plus slack for pages
+		// that splits would add (there are none here: lookups only).
+		warmFrames := int(st.Size())/page.DefaultPageSize + 16
+
+		cold, err := kind.open(path, page.Options{PoolFrames: cfg.ColdFrames})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: open cold %s: %w", kind.name, err)
+		}
+		coldRate := pagedLookupRate(cold, probes)
+		cs := cold.PoolStats()
+		if err := cold.Close(); err != nil {
+			return nil, nil, err
+		}
+		if cs.Evictions == 0 {
+			return nil, nil, fmt.Errorf("bench: cold %s run evicted nothing — pool not smaller than dataset", kind.name)
+		}
+
+		warm, err := kind.open(path, page.Options{PoolFrames: warmFrames})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: open warm %s: %w", kind.name, err)
+		}
+		// Unmeasured pass over the exact probe workload: everything the
+		// measured loop touches is resident afterwards.
+		pagedLookupRate(warm, probes)
+		warmRate := pagedLookupRate(warm, probes)
+		ws := warm.PoolStats()
+		if err := warm.Close(); err != nil {
+			return nil, nil, err
+		}
+		if ws.Evictions > 0 {
+			return nil, nil, fmt.Errorf("bench: warm %s run evicted %d pages — pool sized too small", kind.name, ws.Evictions)
+		}
+
+		missPct := 100 * float64(cs.Misses) / float64(cs.Hits+cs.Misses)
+		t.AddRow(kind.name, coldRate/1e3, warmRate/1e3, warmRate/coldRate, missPct, cs.Evictions)
+
+		coldName := PagedResultName(kind.name, "cold")
+		results = append(results,
+			BenchResult{Name: coldName, OpsPerSec: coldRate},
+			BenchResult{
+				Name:       PagedResultName(kind.name, "warm"),
+				OpsPerSec:  warmRate,
+				MinRatioOf: coldName,
+				MinRatio:   3,
+			})
+	}
+	return []*Table{t}, results, nil
+}
+
+// pagedLookupRate drives the probe sequence through ix and returns
+// lookups per second.
+func pagedLookupRate(ix pagedBenchIndex, probes []core.Key) float64 {
+	start := time.Now()
+	for _, k := range probes {
+		ix.Get(k)
+	}
+	return float64(len(probes)) / time.Since(start).Seconds()
+}

@@ -58,6 +58,22 @@ var conformOverrides = map[string]func() lix.MutableIndex{
 	"skiplist":         func() lix.MutableIndex { return lix.NewSkipList(42) },
 	"skiplist-learned": func() lix.MutableIndex { return lix.NewLearnedSkipList(42, 0) },
 	"pgm-dynamic":      func() lix.MutableIndex { return lix.NewDynamicPGM(0, 64) },
+	// Paged kinds run with a frame budget far below the working set, so
+	// every conformance replay crosses CLOCK evictions and write-backs.
+	"paged-btree": func() lix.MutableIndex {
+		ix, err := lix.NewTempPagedBTree(lix.PagedOptions{PoolFrames: 8})
+		if err != nil {
+			panic("conform: paged-btree: " + err.Error())
+		}
+		return ix
+	},
+	"paged-pgm": func() lix.MutableIndex {
+		ix, err := lix.NewTempPagedPGM(lix.PagedOptions{PoolFrames: 8})
+		if err != nil {
+			panic("conform: paged-pgm: " + err.Error())
+		}
+		return ix
+	},
 }
 
 func register1DFromRegistry(k registry.Kind) {

@@ -159,6 +159,121 @@ func TestUnlearnableDataStillCorrect(t *testing.T) {
 	}
 }
 
+// TestFPRWithinConfiguredBound pins the filter's measured FPR against
+// the bound its configuration promises. The overall false-positive rate
+// of the classic LBF decomposes as
+//
+//	FPR ~= tau + (1-tau) * backupFPR
+//
+// where tau is the configured classifier budget (the fraction of
+// training negatives allowed past the classifier alone) and backupFPR is
+// the analytic rate of a Bloom filter with the backup's actual bit count
+// and key load. A held-out negative sample must measure within 2x that
+// estimate (plus additive slack for sampling noise) — the factor-2
+// envelope absorbs train/test distribution shift while still failing if
+// the threshold quantile or the backup sizing breaks.
+func TestFPRWithinConfiguredBound(t *testing.T) {
+	keys, trainNeg, testNeg := learnableSet(8000, 806)
+	bits := uint64(10 * len(keys))
+	for _, tau := range []float64{0.01, 0.05, 0.1} {
+		f, err := Train(keys, trainNeg, bits, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The threshold is set to the (1-tau) quantile of training
+		// negative scores, so the classifier-alone pass rate on the
+		// training negatives must track tau.
+		pass := 0
+		for _, k := range trainNeg {
+			if f.model.Predict(f.norm.apply(k)) >= f.threshold {
+				pass++
+			}
+		}
+		trainTau := float64(pass) / float64(len(trainNeg))
+		if trainTau > tau*1.5+0.005 {
+			t.Errorf("tau=%.3f: classifier passes %.4f of training negatives", tau, trainTau)
+		}
+		analytic := tau + (1-tau)*bloomFPREstimate(f.backup.Bits(), f.BackupKeys())
+		measured := MeasureFPR(f, testNeg)
+		if measured > 2*analytic+0.02 {
+			t.Errorf("tau=%.3f: measured FPR %.4f exceeds 2x analytic bound %.4f (backup: %d keys in %d bits)",
+				tau, measured, analytic, f.BackupKeys(), f.backup.Bits())
+		}
+	}
+}
+
+// hardSet is learnableSet with half the negatives drawn from the gaps
+// INSIDE the key band. A score threshold over smooth key features cannot
+// separate interleaved keys from gap negatives, so a large share of the
+// keys falls through to the backup filter and the space budget actually
+// binds — which is what a memory-vs-FPR sweep needs to measure.
+func hardSet(n int, seed int64) (keys, trainNeg, testNeg []core.Key) {
+	r := rand.New(rand.NewSource(seed))
+	seen := map[core.Key]bool{}
+	for len(keys) < n {
+		k := core.Key(1<<40 + r.Int63n(1<<30))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	gen := func(m int) []core.Key {
+		var out []core.Key
+		for len(out) < m {
+			var k core.Key
+			if r.Intn(2) == 0 {
+				k = core.Key(1<<40 + r.Int63n(1<<30)) // in-band gap
+			} else {
+				k = core.Key(r.Int63n(1 << 40)) // below band
+			}
+			if !seen[k] {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	return keys, gen(n), gen(n)
+}
+
+// TestMemoryVsFPRTradeoff sweeps the space budget and pins the trade-off
+// curve the paper's §6.6 compression argument rests on: more bits per
+// key must buy a lower (or equal, within noise) false-positive rate, the
+// built filter must respect its budget, and the roomiest configuration
+// must be strictly better than the tightest.
+func TestMemoryVsFPRTradeoff(t *testing.T) {
+	keys, trainNeg, testNeg := hardSet(8000, 807)
+	budgets := []int{4, 8, 12, 16} // bits per key
+	fprs := make([]float64, len(budgets))
+	for i, bpk := range budgets {
+		bits := uint64(bpk * len(keys))
+		f, err := Train(keys, trainNeg, bits, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The model is a fixed overhead on top of the budget; beyond it
+		// the filter must not overshoot what it was given.
+		modelBits := uint64(f.model.Bytes()) * 8
+		if f.Bits() > bits+modelBits {
+			t.Errorf("%d bits/key: built %d bits from a %d-bit budget (model %d)",
+				bpk, f.Bits(), bits, modelBits)
+		}
+		fprs[i] = MeasureFPR(f, testNeg)
+		t.Logf("%2d bits/key: FPR %.4f, %d/%d keys in backup, %d bits total",
+			bpk, fprs[i], f.BackupKeys(), f.Count(), f.Bits())
+	}
+	for i := 1; i < len(fprs); i++ {
+		// Monotone up to sampling noise: a bigger budget may not make the
+		// measured rate meaningfully worse.
+		if fprs[i] > fprs[i-1]*1.25+0.01 {
+			t.Errorf("FPR rose with budget: %d bits/key %.4f -> %d bits/key %.4f",
+				budgets[i-1], fprs[i-1], budgets[i], fprs[i])
+		}
+	}
+	if last, first := fprs[len(fprs)-1], fprs[0]; last >= first && first > 0.01 {
+		t.Errorf("quadrupling the budget bought nothing: %.4f -> %.4f", first, last)
+	}
+}
+
 func TestMeasureFPREmpty(t *testing.T) {
 	if MeasureFPR(bloom.New(10, 0.1), nil) != 0 {
 		t.Fatal("empty probes")

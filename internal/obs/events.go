@@ -11,9 +11,10 @@ import (
 // systems: model retrains (XIndex, LISA), node splits and other structure
 // modification operations (ALEX, LIPP, B+-tree), delta-buffer flushes and
 // merges (FITing-tree, dynamic PGM), LSM compactions (Bourbon), RCU root
-// swaps (XIndex), drift-detector trips (§6.3 retraining triggers), and the
+// swaps (XIndex), drift-detector trips (§6.3 retraining triggers), the
 // serving lifecycle (durable checkpoints/flushes/recovery, front-end
-// drains).
+// drains), and buffer-pool page traffic (CLOCK evictions, dirty
+// write-backs) from the paged storage tier.
 type EventType uint8
 
 // Event types.
@@ -30,6 +31,8 @@ const (
 	EvRecovery
 	EvDrain
 	EvSlowRequest
+	EvPageEvict
+	EvPageFlush
 	numEventTypes
 )
 
@@ -61,6 +64,10 @@ func (t EventType) String() string {
 		return "drain"
 	case EvSlowRequest:
 		return "slow_request"
+	case EvPageEvict:
+		return "page_evict"
+	case EvPageFlush:
+		return "page_flush"
 	default:
 		return fmt.Sprintf("event_%d", uint8(t))
 	}
@@ -205,6 +212,15 @@ type Recorder interface {
 	// (key comparisons or node hops) and the width of the error window
 	// searched (0 when the structure is search-free, e.g. LIPP).
 	RecordSearch(probes, window int)
+}
+
+// PageRecorder is the optional Recorder extension buffer pools feed:
+// per-access hit/miss counts, too frequent for the event stream. *Metrics
+// implements it.
+type PageRecorder interface {
+	// RecordPageAccess receives one pool lookup: hit (served from a
+	// resident frame) or miss (read from disk).
+	RecordPageAccess(hit bool)
 }
 
 type recorderBox struct{ r Recorder }

@@ -63,6 +63,14 @@ type Metrics struct {
 	ShardNS    Histogram
 	WalNS      Histogram
 
+	// Buffer-pool traffic from the paged storage tier (internal/page):
+	// PageHits/PageMisses count pool lookups served from memory vs disk.
+	// Evictions and write-backs are lower-frequency and flow through the
+	// event stream (EvPageEvict, EvPageFlush), so they appear under
+	// lix_events_total.
+	PageHits   Counter
+	PageMisses Counter
+
 	// Serving front-end instrumentation, maintained by internal/serve:
 	// Requests counts frames received, Errors counts error replies sent
 	// (protocol violations and refused connections included), Groups
@@ -107,6 +115,16 @@ func (m *Metrics) Event(e Event) {
 		e.Source = m.Name
 	}
 	m.Events.Publish(e)
+}
+
+// RecordPageAccess implements PageRecorder: one buffer-pool lookup, hit
+// or miss.
+func (m *Metrics) RecordPageAccess(hit bool) {
+	if hit {
+		m.PageHits.Inc()
+	} else {
+		m.PageMisses.Inc()
+	}
 }
 
 // RecordSearch implements Recorder (and, structurally, the core package's
@@ -217,7 +235,7 @@ type Snapshot struct {
 // counterNames fixes the rendering order of the counter set.
 var counterNames = []string{
 	"lookups", "hits", "inserts", "deletes", "ranges", "batches",
-	"requests", "errors", "groups",
+	"requests", "errors", "groups", "page_hits", "page_misses",
 }
 
 // histNames fixes the rendering order of the histogram set.
@@ -251,6 +269,10 @@ func (m *Metrics) counter(name string) *Counter {
 		return &m.Errors
 	case "groups":
 		return &m.Groups
+	case "page_hits":
+		return &m.PageHits
+	case "page_misses":
+		return &m.PageMisses
 	}
 	return nil
 }

@@ -297,6 +297,10 @@ lix_requests_total{index="t"} 0
 lix_errors_total{index="t"} 0
 # TYPE lix_groups_total counter
 lix_groups_total{index="t"} 0
+# TYPE lix_page_hits_total counter
+lix_page_hits_total{index="t"} 0
+# TYPE lix_page_misses_total counter
+lix_page_misses_total{index="t"} 0
 # TYPE lix_conns gauge
 lix_conns{index="t"} 0
 # TYPE lix_get_ns histogram
@@ -334,6 +338,8 @@ lix_events_total{index="t",type="wal_flush"} 0
 lix_events_total{index="t",type="recovery"} 0
 lix_events_total{index="t",type="drain"} 0
 lix_events_total{index="t",type="slow_request"} 0
+lix_events_total{index="t",type="page_evict"} 0
+lix_events_total{index="t",type="page_flush"} 0
 `
 	if got := b.String(); got != golden {
 		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
@@ -359,7 +365,7 @@ func TestWritePrometheusAll(t *testing.T) {
 func TestEventTypeStrings(t *testing.T) {
 	want := []string{"retrain", "node_split", "buffer_flush", "buffer_merge",
 		"compaction", "rcu_swap", "drift_trip", "checkpoint", "wal_flush", "recovery",
-		"drain", "slow_request"}
+		"drain", "slow_request", "page_evict", "page_flush"}
 	types := EventTypes()
 	if len(types) != len(want) {
 		t.Fatalf("EventTypes() has %d entries, want %d", len(types), len(want))

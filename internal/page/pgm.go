@@ -1,0 +1,561 @@
+package page
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/lix-go/lix/internal/core"
+	"github.com/lix-go/lix/internal/obs"
+	"github.com/lix-go/lix/internal/segment"
+)
+
+// KindPGM is the kind name stored in the meta page of paged-PGM files.
+const KindPGM = "paged-pgm"
+
+// pgmEps is the PLA error bound (in fence-array positions) the leaf model
+// is trained to.
+const pgmEps = 8
+
+// pgmMinModelFences is the fence count below which the model is skipped
+// entirely: a binary search over a handful of fences beats evaluating a
+// PLA.
+const pgmMinModelFences = 64
+
+// PGM is a paged learned index: sorted records live in the same chained
+// leaf pages the B+-tree uses, but routing replaces the inner-node tree
+// with an in-memory learned model. A fence array (the first key of each
+// leaf, pinned in memory) is approximated by a PLA of ε-bounded segments
+// (the PGM-index construction); a lookup predicts the fence position,
+// corrects it with a windowed binary search over the fences, then runs the
+// last-mile search inside a single pinned leaf page. Disk I/O per point
+// lookup is therefore at most one page read — the property that makes
+// learned indexes attractive on storage (see the package comment).
+//
+// The model is advisory, never load-bearing: after the windowed search the
+// result is verified against the neighboring fences with exact integer
+// compares, and on any violation (model drift, float64 collapse of nearby
+// huge keys) the lookup falls back to a full binary search over the fence
+// array. Correctness never depends on the model; only speed does.
+//
+// Inserts go to the leaf owning the key; a full leaf splits, growing the
+// fence array. The model is retrained (EvRetrain) once the fence count has
+// grown enough that the drift-widened search window erodes the model's
+// advantage. Deletions leave leaves underfull or empty, as in the B+-tree.
+type PGM struct {
+	mu   sync.RWMutex
+	file *File
+	pool *Pool
+
+	head   uint64 // first leaf id (0 = empty)
+	count  int
+	fences []core.Key // fences[i] = lower-bound key of leaf i
+	leaves []uint64   // leaves[i] = page id of leaf i
+
+	segs          []segment.Segment
+	fencesAtTrain int // fence count when segs were last trained
+
+	hook          obs.Hook
+	removeOnClose bool
+}
+
+// CreatePGM creates a fresh paged-PGM file at path.
+func CreatePGM(path string, o Options) (*PGM, error) {
+	f, err := Create(path, o.PageSize, KindPGM)
+	if err != nil {
+		return nil, err
+	}
+	return &PGM{file: f, pool: NewPool(f, o.PoolFrames)}, nil
+}
+
+// OpenPGM opens an existing paged-PGM file, rebuilding the in-memory fence
+// array and model by walking the leaf chain.
+func OpenPGM(path string, o Options) (*PGM, error) {
+	f, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	m := f.Meta()
+	if m.Kind != KindPGM {
+		f.Close()
+		return nil, fmt.Errorf("page: %s holds a %q index, not %q", path, m.Kind, KindPGM)
+	}
+	g := &PGM{file: f, pool: NewPool(f, o.PoolFrames), head: m.Root, count: m.Count}
+	if err := g.rebuildFences(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	g.retrain()
+	return g, nil
+}
+
+// NewTempPGM creates a paged PGM backed by a temporary file that is
+// removed on Close.
+func NewTempPGM(o Options) (*PGM, error) {
+	path, err := tempPath("lix-paged-pgm-*.lpx")
+	if err != nil {
+		return nil, err
+	}
+	g, err := CreatePGM(path, o)
+	if err != nil {
+		return nil, err
+	}
+	g.removeOnClose = true
+	return g, nil
+}
+
+// BulkPGM creates a paged-PGM file at path bulk-loaded with recs (sorted
+// ascending, distinct keys).
+func BulkPGM(path string, recs []core.KV, o Options) (*PGM, error) {
+	g, err := CreatePGM(path, o)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.BulkLoad(recs); err != nil {
+		g.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return g, nil
+}
+
+// rebuildFences reconstructs fences and leaves from the on-disk leaf
+// chain. An empty leaf (all records deleted) inherits the previous fence:
+// its lower bound is unknown but routing only needs monotone fences.
+func (g *PGM) rebuildFences() error {
+	g.fences = g.fences[:0]
+	g.leaves = g.leaves[:0]
+	for id := g.head; id != 0; {
+		fr, err := g.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		p := fr.Page()
+		if p.Type() != TypeLeaf {
+			g.pool.Unpin(fr, false)
+			return fmt.Errorf("page: %s: leaf chain reaches page %d of type %d", g.file.Path(), id, p.Type())
+		}
+		fence := core.Key(0)
+		if len(g.fences) == 0 {
+			// Slot 0's fence stays 0 (conceptually -inf; see InsertErr).
+		} else if p.Count() > 0 {
+			fence = p.LeafKey(0)
+		} else {
+			// An emptied leaf inherits the previous fence: its lower bound
+			// is unknown but routing only needs monotone fences.
+			fence = g.fences[len(g.fences)-1]
+		}
+		g.fences = append(g.fences, fence)
+		g.leaves = append(g.leaves, id)
+		id = p.Link()
+		g.pool.Unpin(fr, false)
+	}
+	return nil
+}
+
+// retrain rebuilds the PLA over the fence array and emits EvRetrain.
+func (g *PGM) retrain() {
+	g.fencesAtTrain = len(g.fences)
+	if len(g.fences) < pgmMinModelFences {
+		g.segs = nil
+		return
+	}
+	xs := make([]float64, len(g.fences))
+	for i, f := range g.fences {
+		xs[i] = float64(f)
+	}
+	g.segs = segment.BuildOptimal(xs, segment.Positions(len(xs)), pgmEps)
+	g.hook.Emit(obs.EvRetrain, len(g.segs), "fences")
+}
+
+// maybeRetrain retrains once the fence array has grown past the point
+// where drift widens the verified search window beyond ~2ε.
+func (g *PGM) maybeRetrain() {
+	grown := len(g.fences) - g.fencesAtTrain
+	if grown > pgmEps || (len(g.fences) >= pgmMinModelFences && g.segs == nil) {
+		g.retrain()
+	}
+}
+
+// locate returns the index of the leaf owning k: the last fence <= k
+// (clamped to 0 — keys below every fence route to the first leaf).
+func (g *PGM) locate(k core.Key) int {
+	n := len(g.fences)
+	if n == 0 {
+		return -1
+	}
+	var i int
+	if g.segs == nil {
+		i = core.LowerBound(g.fences, k)
+	} else {
+		// Predict, correct within the drift-widened window, then verify
+		// with exact compares; fall back to a full search if the model is
+		// off (float64 key collapse or unexpected drift).
+		s := &g.segs[segment.Locate(g.segs, float64(k))]
+		pos := int(s.Predict(float64(k)))
+		w := pgmEps + (n - g.fencesAtTrain) + 1
+		i = core.SearchRange(g.fences, k, pos-w, pos+w)
+		if (i > 0 && g.fences[i-1] >= k) || (i < n && g.fences[i] < k) {
+			i = core.LowerBound(g.fences, k)
+		}
+	}
+	// i is the lower bound: first fence >= k. The owning leaf is i when
+	// its fence equals k, else the one before.
+	if i < n && g.fences[i] == k {
+		return i
+	}
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// SetObserver attaches r to receive model retrains, leaf splits, and the
+// buffer pool's page traffic. nil detaches.
+func (g *PGM) SetObserver(r obs.Recorder) {
+	g.hook.SetRecorder(r)
+	g.pool.SetObserver(r)
+}
+
+// PoolStats returns the buffer pool's traffic counters.
+func (g *PGM) PoolStats() PoolStats { return g.pool.Stats() }
+
+// Path returns the backing file's path.
+func (g *PGM) Path() string { return g.file.Path() }
+
+// Sync flushes all dirty pages, persists the meta page, and fsyncs.
+func (g *PGM) Sync() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.pool.FlushAll(); err != nil {
+		return err
+	}
+	g.file.SetMeta(Meta{Kind: KindPGM, Root: g.head, Count: g.count})
+	return g.file.Sync()
+}
+
+// Close flushes, persists the meta page, and closes the file (removing it
+// when created by NewTempPGM).
+func (g *PGM) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ferr := g.pool.FlushAll()
+	g.file.SetMeta(Meta{Kind: KindPGM, Root: g.head, Count: g.count})
+	if err := g.file.Close(); err != nil && ferr == nil {
+		ferr = err
+	}
+	if g.removeOnClose {
+		os.Remove(g.file.Path())
+	}
+	return ferr
+}
+
+// Len returns the number of records.
+func (g *PGM) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.count
+}
+
+// Stats reports structural statistics. IndexBytes covers the resident
+// state: pool frames plus the pinned fence array and model.
+func (g *PGM) Stats() core.Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	pages := int(g.file.NumPages())
+	h := 0
+	if g.head != 0 {
+		h = 2 // model level + leaf level
+	}
+	return core.Stats{
+		Name:  KindPGM,
+		Count: g.count,
+		IndexBytes: len(g.pool.frames)*g.file.PageSize() +
+			16*len(g.fences) + segment.SegmentBytes*len(g.segs),
+		DataBytes: pages * g.file.PageSize(),
+		Height:    h,
+		Models:    len(g.segs),
+	}
+}
+
+// Lookup returns the value for k, reporting I/O or corruption errors.
+func (g *PGM) Lookup(k core.Key) (core.Value, bool, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	d := g.locate(k)
+	if d < 0 {
+		return 0, false, nil
+	}
+	fr, err := g.pool.Get(g.leaves[d])
+	if err != nil {
+		return 0, false, err
+	}
+	p := fr.Page()
+	i, found := p.LeafSearch(k)
+	var v core.Value
+	if found {
+		v = p.LeafVal(i)
+	}
+	g.pool.Unpin(fr, false)
+	return v, found, nil
+}
+
+// Get returns the value for k, panicking on I/O or corruption errors.
+func (g *PGM) Get(k core.Key) (core.Value, bool) {
+	v, ok, err := g.Lookup(k)
+	if err != nil {
+		panic("page: paged-pgm Get: " + err.Error())
+	}
+	return v, ok
+}
+
+// InsertErr upserts (k, v), reporting I/O or corruption errors.
+func (g *PGM) InsertErr(k core.Key, v core.Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.head == 0 {
+		fr, err := g.pool.Alloc(TypeLeaf)
+		if err != nil {
+			return err
+		}
+		fr.Page().LeafInsertAt(0, k, v)
+		g.head = fr.ID()
+		// Slot 0's fence is pinned to 0 (conceptually -inf): keys below
+		// every later fence route there, and a split of slot 0 must never
+		// produce a separator below its own fence.
+		g.fences = append(g.fences, 0)
+		g.leaves = append(g.leaves, fr.ID())
+		g.pool.Unpin(fr, true)
+		g.count = 1
+		return nil
+	}
+	d := g.locate(k)
+	fr, err := g.pool.Get(g.leaves[d])
+	if err != nil {
+		return err
+	}
+	p := fr.Page()
+	i, found := p.LeafSearch(k)
+	if found {
+		p.SetLeafRecord(i, k, v)
+		g.pool.Unpin(fr, true)
+		return nil
+	}
+	n := p.Count()
+	if n < LeafCap(len(p)) {
+		p.LeafInsertAt(i, k, v)
+		g.pool.Unpin(fr, true)
+		g.count++
+		return nil
+	}
+
+	// Split the leaf and grow the fence array; the model keeps predicting
+	// against the new array within its drift-widened window until the next
+	// retrain.
+	rfr, err := g.pool.Alloc(TypeLeaf)
+	if err != nil {
+		g.pool.Unpin(fr, false)
+		return err
+	}
+	rp := rfr.Page()
+	mid := n / 2
+	for j := mid; j < n; j++ {
+		rp.SetLeafRecord(j-mid, p.LeafKey(j), p.LeafVal(j))
+	}
+	rp.SetCount(n - mid)
+	rp.SetLink(p.Link())
+	p.SetLink(rfr.ID())
+	zeroRange(p, HeaderSize+16*mid, HeaderSize+16*n)
+	p.SetCount(mid)
+
+	sep := rp.LeafKey(0)
+	if k < sep {
+		p.LeafInsertAt(i, k, v)
+	} else {
+		j, _ := rp.LeafSearch(k)
+		rp.LeafInsertAt(j, k, v)
+	}
+	right := rfr.ID()
+	g.pool.Unpin(fr, true)
+	g.pool.Unpin(rfr, true)
+
+	g.fences = append(g.fences, 0)
+	copy(g.fences[d+2:], g.fences[d+1:])
+	g.fences[d+1] = sep
+	g.leaves = append(g.leaves, 0)
+	copy(g.leaves[d+2:], g.leaves[d+1:])
+	g.leaves[d+1] = right
+
+	g.count++
+	g.hook.Emit(obs.EvNodeSplit, n+1, "leaf")
+	g.maybeRetrain()
+	return nil
+}
+
+// Insert upserts (k, v), panicking on I/O or corruption errors.
+func (g *PGM) Insert(k core.Key, v core.Value) {
+	if err := g.InsertErr(k, v); err != nil {
+		panic("page: paged-pgm Insert: " + err.Error())
+	}
+}
+
+// DeleteErr removes k, reporting whether it was present. Emptied leaves
+// stay in the chain with their fence unchanged; routing remains correct
+// because fences are lower bounds, not exact first keys.
+func (g *PGM) DeleteErr(k core.Key) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d := g.locate(k)
+	if d < 0 {
+		return false, nil
+	}
+	fr, err := g.pool.Get(g.leaves[d])
+	if err != nil {
+		return false, err
+	}
+	p := fr.Page()
+	i, found := p.LeafSearch(k)
+	if !found {
+		g.pool.Unpin(fr, false)
+		return false, nil
+	}
+	p.LeafDeleteAt(i)
+	g.count--
+	g.pool.Unpin(fr, true)
+	return true, nil
+}
+
+// Delete removes k, panicking on I/O or corruption errors.
+func (g *PGM) Delete(k core.Key) bool {
+	ok, err := g.DeleteErr(k)
+	if err != nil {
+		panic("page: paged-pgm Delete: " + err.Error())
+	}
+	return ok
+}
+
+// RangeErr calls fn for every record with lo <= key <= hi in ascending
+// order, walking the leaf chain from the leaf owning lo.
+func (g *PGM) RangeErr(lo, hi core.Key, fn func(core.Key, core.Value) bool) (int, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	d := g.locate(lo)
+	if d < 0 || lo > hi {
+		return 0, nil
+	}
+	return scanChain(g.pool, g.leaves[d], lo, hi, fn)
+}
+
+// Range calls fn for records in [lo, hi], panicking on I/O or corruption
+// errors.
+func (g *PGM) Range(lo, hi core.Key, fn func(core.Key, core.Value) bool) int {
+	n, err := g.RangeErr(lo, hi, fn)
+	if err != nil {
+		panic("page: paged-pgm Range: " + err.Error())
+	}
+	return n
+}
+
+// BulkLoad packs recs (sorted ascending, distinct keys) into a fresh leaf
+// chain and trains the model once over the final fence array.
+func (g *PGM) BulkLoad(recs []core.KV) error {
+	if g.head != 0 || g.count != 0 {
+		return fmt.Errorf("page: bulk load into non-empty index")
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	cap := LeafCap(g.file.PageSize())
+	var prev *Frame
+	for off := 0; off < len(recs); off += cap {
+		end := off + cap
+		if end > len(recs) {
+			end = len(recs)
+		}
+		fr, err := g.pool.Alloc(TypeLeaf)
+		if err != nil {
+			if prev != nil {
+				g.pool.Unpin(prev, true)
+			}
+			return err
+		}
+		p := fr.Page()
+		for j := off; j < end; j++ {
+			p.SetLeafRecord(j-off, recs[j].Key, recs[j].Value)
+		}
+		p.SetCount(end - off)
+		if prev != nil {
+			prev.Page().SetLink(fr.ID())
+			g.pool.Unpin(prev, true)
+		} else {
+			g.head = fr.ID()
+		}
+		prev = fr
+		fence := recs[off].Key
+		if off == 0 {
+			fence = 0 // slot 0's fence is conceptually -inf; see InsertErr
+		}
+		g.fences = append(g.fences, fence)
+		g.leaves = append(g.leaves, fr.ID())
+	}
+	g.pool.Unpin(prev, true)
+	g.count = len(recs)
+	g.retrain()
+	return nil
+}
+
+// CheckInvariants verifies the paged PGM: the in-memory fence/leaf arrays
+// mirror the on-disk chain, fences are monotone lower bounds for their
+// leaves, leaf keys ascend across the whole chain, and the record count
+// matches.
+func (g *PGM) CheckInvariants() error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.fences) != len(g.leaves) {
+		return fmt.Errorf("paged-pgm: %d fences vs %d leaves", len(g.fences), len(g.leaves))
+	}
+	if g.head == 0 {
+		if g.count != 0 || len(g.fences) != 0 {
+			return fmt.Errorf("paged-pgm: empty chain with count=%d fences=%d", g.count, len(g.fences))
+		}
+		return nil
+	}
+	total := 0
+	var last core.Key
+	haveLast := false
+	id := g.head
+	for i := 0; id != 0; i++ {
+		if i >= len(g.leaves) || g.leaves[i] != id {
+			return fmt.Errorf("paged-pgm: chain page %d not mirrored at slot %d", id, i)
+		}
+		if i > 0 && g.fences[i-1] > g.fences[i] {
+			return fmt.Errorf("paged-pgm: fences not monotone at %d", i)
+		}
+		fr, err := g.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		p := fr.Page()
+		for j := 0; j < p.Count(); j++ {
+			k := p.LeafKey(j)
+			// Slot 0 is exempt from the fence lower bound: keys below every
+			// fence route there, so its fence is only the chain's start hint.
+			if i > 0 && k < g.fences[i] {
+				g.pool.Unpin(fr, false)
+				return fmt.Errorf("paged-pgm: leaf %d (slot %d) key %d below fence %d", id, i, k, g.fences[i])
+			}
+			if haveLast && k <= last {
+				g.pool.Unpin(fr, false)
+				return fmt.Errorf("paged-pgm: chain keys not ascending at leaf %d", id)
+			}
+			last, haveLast = k, true
+			total++
+		}
+		id = p.Link()
+		g.pool.Unpin(fr, false)
+	}
+	if total != g.count {
+		return fmt.Errorf("paged-pgm: counted %d records, count says %d", total, g.count)
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package page
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/lix-go/lix/internal/obs"
+)
+
+// DefaultPoolFrames is the frame budget when Options.PoolFrames is 0:
+// 256 frames × 4 KiB = 1 MiB of resident pages per index.
+const DefaultPoolFrames = 256
+
+// Frame is one buffer-pool slot: a page-sized buffer plus its residency
+// state. Callers receive pinned frames from Get/Alloc and must Unpin them
+// when done; a pinned frame is never evicted, so its Buf stays valid.
+type Frame struct {
+	id    uint64
+	idx   int // position in the pool's frame array (fixed at construction)
+	buf   Buf
+	pins  int32
+	ref   bool // CLOCK reference bit
+	dirty bool
+}
+
+// ID returns the page id resident in the frame.
+func (fr *Frame) ID() uint64 { return fr.id }
+
+// Page returns the frame's page buffer. Valid only while pinned.
+func (fr *Frame) Page() Buf { return fr.buf }
+
+// PoolStats is a point-in-time view of buffer-pool traffic.
+type PoolStats struct {
+	// Frames is the configured frame budget; Resident counts frames
+	// currently holding a page, Pinned those with a nonzero pin count.
+	Frames, Resident, Pinned int
+	// Hits and Misses count Get calls served from memory vs from disk.
+	Hits, Misses uint64
+	// Evictions counts pages displaced by CLOCK; Flushes counts dirty
+	// write-backs (evictions of dirty pages plus FlushAll writes).
+	Evictions, Flushes uint64
+}
+
+// Pool is a buffer pool over one page file: a fixed budget of page frames
+// with pin/unpin refcounts and CLOCK (second-chance) eviction. Dirty pages
+// are written back when evicted or on FlushAll. The pool is safe for
+// concurrent use, but the page *contents* of a pinned frame are the
+// caller's to synchronize — the indexes above serialize their own
+// structural mutations.
+type Pool struct {
+	file   *File
+	frames []Frame
+
+	mu    sync.Mutex
+	table map[uint64]int // resident page id -> frame index
+	hand  int
+
+	hits, misses, evictions, flushes atomic.Uint64
+	hook                             obs.Hook
+}
+
+// NewPool returns a pool of the given frame budget (0 selects
+// DefaultPoolFrames, minimum 4 — a B+-tree descent pins at most two
+// frames, a split three).
+func NewPool(f *File, frames int) *Pool {
+	if frames <= 0 {
+		frames = DefaultPoolFrames
+	}
+	if frames < 4 {
+		frames = 4
+	}
+	p := &Pool{
+		file:   f,
+		frames: make([]Frame, frames),
+		table:  make(map[uint64]int, frames),
+	}
+	for i := range p.frames {
+		p.frames[i].buf = make(Buf, f.PageSize())
+		p.frames[i].idx = i
+	}
+	return p
+}
+
+// SetObserver attaches r to receive structural events: EvPageEvict per
+// CLOCK displacement and EvPageFlush per dirty write-back. When r is an
+// obs.PageRecorder (as *obs.Metrics is), per-access hit/miss counts are
+// recorded too. nil detaches.
+func (p *Pool) SetObserver(r obs.Recorder) { p.hook.SetRecorder(r) }
+
+// Stats returns the pool's traffic counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	resident, pinned := len(p.table), 0
+	for i := range p.frames {
+		if p.frames[i].pins > 0 {
+			pinned++
+		}
+	}
+	p.mu.Unlock()
+	return PoolStats{
+		Frames:    len(p.frames),
+		Resident:  resident,
+		Pinned:    pinned,
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Evictions: p.evictions.Load(),
+		Flushes:   p.flushes.Load(),
+	}
+}
+
+// recordAccess forwards one hit/miss to the attached recorder when it
+// implements the page extension.
+func (p *Pool) recordAccess(hit bool) {
+	if r := p.hook.Recorder(); r != nil {
+		if pr, ok := r.(obs.PageRecorder); ok {
+			pr.RecordPageAccess(hit)
+		}
+	}
+}
+
+// Get returns a pinned frame holding page id, reading it from disk on a
+// miss. The caller must Unpin it exactly once.
+//
+// The table entry for a missed page is published only after the disk read
+// completes, so a concurrent Get never observes a half-loaded frame. Two
+// concurrent readers missing on the same page may both load it into
+// separate frames; both copies are clean and identical, the later publish
+// wins the table slot, and the loser is reclaimed by the eviction sweep
+// (which only touches the table when it still maps to the victim frame).
+func (p *Pool) Get(id uint64) (*Frame, error) {
+	p.mu.Lock()
+	if fi, ok := p.table[id]; ok {
+		fr := &p.frames[fi]
+		fr.pins++
+		fr.ref = true
+		p.mu.Unlock()
+		p.hits.Add(1)
+		p.recordAccess(true)
+		return fr, nil
+	}
+	fr, err := p.victimLocked(id, false)
+	p.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	p.misses.Add(1)
+	p.recordAccess(false)
+	if err := p.file.Read(id, fr.buf); err != nil {
+		// The read failed; release the frame so the pool is not poisoned.
+		// The table was never published for it, so only the frame's own
+		// state needs clearing.
+		p.mu.Lock()
+		fr.id = 0
+		fr.pins = 0
+		fr.ref = false
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.mu.Lock()
+	p.table[id] = fr.idx
+	p.mu.Unlock()
+	return fr, nil
+}
+
+// Alloc allocates a fresh page and returns it as a pinned, dirty frame
+// initialized to the given type. No disk read happens; the page reaches
+// disk on eviction or flush.
+func (p *Pool) Alloc(typ byte) (*Frame, error) {
+	id, err := p.file.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	fr, verr := p.victimLocked(id, true)
+	p.mu.Unlock()
+	if verr != nil {
+		return nil, verr
+	}
+	fr.buf.Reset(typ, id)
+	fr.dirty = true
+	return fr, nil
+}
+
+// victimLocked claims a frame for page id: evicting via CLOCK when every
+// frame is occupied. The returned frame is pinned once, with stale state
+// cleared; publish controls whether the table entry is registered now
+// (freshly allocated pages, content valid immediately) or deferred by the
+// caller until the frame's buffer is actually loaded. Caller holds p.mu.
+func (p *Pool) victimLocked(id uint64, publish bool) (*Frame, error) {
+	n := len(p.frames)
+	// Two full sweeps: the first clears reference bits, the second takes
+	// the first unpinned frame. More than 2n steps means every frame is
+	// pinned — the budget is too small for the access pattern.
+	for step := 0; step < 2*n; step++ {
+		fr := &p.frames[p.hand]
+		p.hand = (p.hand + 1) % n
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			continue
+		}
+		if fi, resident := p.table[fr.id]; resident && fi == fr.idx {
+			// Evicting a resident page: write back if dirty.
+			if fr.dirty {
+				if err := p.file.Write(fr.id, fr.buf); err != nil {
+					return nil, fmt.Errorf("page: write-back of page %d: %w", fr.id, err)
+				}
+				fr.dirty = false
+				p.flushes.Add(1)
+				p.hook.Emit(obs.EvPageFlush, 1, "evict")
+			}
+			delete(p.table, fr.id)
+			p.evictions.Add(1)
+			p.hook.Emit(obs.EvPageEvict, 1, "")
+		}
+		fr.id = id
+		fr.pins = 1
+		fr.ref = true
+		fr.dirty = false
+		if publish {
+			p.table[id] = fr.idx
+		}
+		return fr, nil
+	}
+	return nil, fmt.Errorf("page: all %d pool frames pinned (frame budget too small)", n)
+}
+
+// Unpin releases one pin on fr; dirty marks the page as modified so it is
+// written back before eviction.
+func (p *Pool) Unpin(fr *Frame, dirty bool) {
+	p.mu.Lock()
+	if fr.pins <= 0 {
+		p.mu.Unlock()
+		panic("page: Unpin of unpinned frame")
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+	p.mu.Unlock()
+}
+
+// Free removes page id from the pool (discarding any dirty state — the
+// page is being deleted) and returns it to the file's free list. The page
+// must be unpinned.
+func (p *Pool) Free(id uint64) error {
+	p.mu.Lock()
+	if fi, ok := p.table[id]; ok {
+		fr := &p.frames[fi]
+		if fr.pins > 0 {
+			p.mu.Unlock()
+			return fmt.Errorf("page: freeing pinned page %d", id)
+		}
+		fr.dirty = false
+		fr.id = 0
+		fr.ref = false
+		delete(p.table, id)
+	}
+	p.mu.Unlock()
+	return p.file.Free(id)
+}
+
+// FlushAll writes every dirty resident page back to the file, leaving the
+// pages resident and clean. It does not fsync; Sync on the file does.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, fi := range p.table {
+		fr := &p.frames[fi]
+		if !fr.dirty {
+			continue
+		}
+		if err := p.file.Write(id, fr.buf); err != nil {
+			return fmt.Errorf("page: flush of page %d: %w", id, err)
+		}
+		fr.dirty = false
+		p.flushes.Add(1)
+		p.hook.Emit(obs.EvPageFlush, 1, "flush_all")
+	}
+	return nil
+}

@@ -44,6 +44,8 @@ const (
 	EvRecovery    = obs.EvRecovery
 	EvDrain       = obs.EvDrain
 	EvSlowRequest = obs.EvSlowRequest
+	EvPageEvict   = obs.EvPageEvict
+	EvPageFlush   = obs.EvPageFlush
 )
 
 // NewMetrics returns an empty metrics bundle named name (the name labels

@@ -110,6 +110,45 @@ func register1DKinds() {
 		Caps: registry.Caps{Mutable: true, AllowsEmpty: true},
 		New:  func() (registry.MutableIndex, error) { return NewLearnedLSM(LSMConfig{}), nil },
 	})
+	// The paged kinds are disk-resident: constructors back each instance
+	// with a temporary page file removed on Close (the conformance suite
+	// closes io.Closer indexes after every build).
+	registry.Register(registry.Kind{
+		Name: "paged-btree",
+		Caps: registry.Caps{Mutable: true, AllowsEmpty: true},
+		New: func() (registry.MutableIndex, error) {
+			return NewTempPagedBTree(PagedOptions{})
+		},
+		Bulk: func(recs []core.KV) (registry.MutableIndex, error) {
+			t, err := NewTempPagedBTree(PagedOptions{})
+			if err != nil {
+				return nil, err
+			}
+			if err := t.BulkLoad(recs); err != nil {
+				t.Close()
+				return nil, err
+			}
+			return t, nil
+		},
+	})
+	registry.Register(registry.Kind{
+		Name: "paged-pgm",
+		Caps: registry.Caps{Mutable: true, AllowsEmpty: true},
+		New: func() (registry.MutableIndex, error) {
+			return NewTempPagedPGM(PagedOptions{})
+		},
+		Bulk: func(recs []core.KV) (registry.MutableIndex, error) {
+			g, err := NewTempPagedPGM(PagedOptions{})
+			if err != nil {
+				return nil, err
+			}
+			if err := g.BulkLoad(recs); err != nil {
+				g.Close()
+				return nil, err
+			}
+			return g, nil
+		},
+	})
 }
 
 // spatialBounds is the dataset extent convention shared with the
