@@ -26,6 +26,9 @@
 //	lixbench -paged -quick                     # paged indexes: cold vs
 //	                                           # warm buffer-pool lookups;
 //	                                           # gates warm >= 3x cold
+//	lixbench -lsm -quick                       # checkpoint engines under
+//	                                           # write load; gates LSM
+//	                                           # ckpt rate >= 2x snapshot
 //
 // Profiling and metrics:
 //
@@ -92,6 +95,8 @@ func main() {
 
 		paged = flag.Bool("paged", false, "paged mode: cold vs warm buffer-pool lookup throughput for the disk-backed paged indexes")
 
+		lsm = flag.Bool("lsm", false, "storage-engine mode: checkpoint cost under write load, LSM vs snapshot; gates LSM ckpt >= 2x snapshot")
+
 		serveAddr = flag.String("serve-addr", "", "loadgen mode: drive a running lixserve at this address")
 		pipeline  = flag.Int("pipeline", 32, "loadgen mode: requests per pipelined group")
 		targetQPS = flag.Float64("target-qps", 0, "loadgen mode: open-loop aggregate request rate (0 = closed loop)")
@@ -155,6 +160,10 @@ func main() {
 	}
 	if *paged {
 		runPaged(*n, *q, *seed, *quick, *rev, *benchOut)
+		return
+	}
+	if *lsm {
+		runLSM(*n, *q, *seed, *quick, *rev, *benchOut)
 		return
 	}
 	if *durable {
@@ -386,6 +395,53 @@ func runPaged(n, q int, seed int64, quick bool, rev, outDir string) {
 	cfg.Seed = seed
 
 	tables, results, err := bench.RunPaged(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	if outDir != "" {
+		path := filepath.Join(outDir, "BENCH_"+rev+".json")
+		f := bench.BenchFile{Rev: rev}
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &f); err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+		}
+		f.Rev = rev
+		f.MergeResults(results)
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// runLSM executes the storage-engine benchmark (lixbench -lsm): the same
+// write-heavy checkpointing workload under the snapshot and LSM engines,
+// plus cold-start recovery and the absent-key filter probe phase. The
+// lsm/checkpoint/lsm result carries the blocking LSM >= 2x snapshot
+// checkpoint-rate floor. With -bench-out the lsm/... results merge into
+// an existing BENCH_<rev>.json like the batch mode does.
+func runLSM(n, q int, seed int64, quick bool, rev, outDir string) {
+	cfg := bench.DefaultLSMConfig()
+	if quick {
+		cfg.N, cfg.Writes, cfg.Checkpoints, cfg.Reads = 400_000, 6_000, 6, 30_000
+	}
+	if n > 0 {
+		cfg.N = n
+	}
+	if q > 0 {
+		cfg.Writes = q
+	}
+	cfg.Seed = seed
+
+	tables, results, err := bench.RunLSM(cfg)
 	if err != nil {
 		fatal(err)
 	}

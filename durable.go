@@ -40,6 +40,19 @@ const (
 // ParseSyncPolicy parses "always", "interval" or "never".
 func ParseSyncPolicy(s string) (SyncPolicy, error) { return store.ParseSyncPolicy(s) }
 
+// Storage engines for DurableOptions.Engine.
+const (
+	// EngineSnapshot checkpoints by rewriting the full record set into a
+	// snapshot file — simple, one file to recover, O(dataset) per
+	// checkpoint.
+	EngineSnapshot = store.EngineSnapshot
+	// EngineLSM checkpoints by flushing only the WAL delta into a new
+	// immutable sorted run with a learned fence index and a learned
+	// filter; a size-tiered compactor keeps the run count bounded.
+	// Checkpoint cost is O(memtable), independent of dataset size.
+	EngineLSM = store.EngineLSM
+)
+
 // DurableOptions configures Open and NewDurable.
 type DurableOptions struct {
 	// Kind is the in-memory index kind, one of Mutable1DKinds ("" selects
@@ -57,16 +70,23 @@ type DurableOptions struct {
 	// CheckpointEvery triggers a background checkpoint after this many
 	// logged records (0 selects the store default, negative disables).
 	CheckpointEvery int
+	// Engine selects the checkpoint storage engine, EngineSnapshot or
+	// EngineLSM ("" selects EngineSnapshot). On reopen the engine the
+	// directory already uses wins; explicitly asking for the other one is
+	// a configuration error.
+	Engine string
 	// Metrics, when set, receives checkpoint/flush/recovery events and
 	// fsync latencies.
 	Metrics *obs.Metrics
 }
 
-// metaKind and metaShards are the snapshot meta keys the façade persists
-// so a bare Open(dir, DurableOptions{}) rebuilds the stored configuration.
+// metaKind, metaShards and metaEngine are the snapshot meta keys the
+// façade persists so a bare Open(dir, DurableOptions{}) rebuilds the
+// stored configuration.
 const (
 	metaKind   = "kind"
 	metaShards = "shards"
+	metaEngine = "engine"
 )
 
 // Open opens (or, for an empty directory, creates) the durable index at
@@ -104,13 +124,23 @@ func durablePlan(opts DurableOptions) (store.Config, store.BuildFunc, error) {
 	if opts.Shards < 0 {
 		return store.Config{}, nil, fmt.Errorf("lix: negative shard count %d", opts.Shards)
 	}
+	engine := opts.Engine
+	switch engine {
+	case "":
+		engine = EngineSnapshot
+	case EngineSnapshot, EngineLSM:
+	default:
+		return store.Config{}, nil, fmt.Errorf("lix: unknown storage engine %q", opts.Engine)
+	}
 	cfg := store.Config{
 		Fsync:           opts.Fsync,
 		SyncInterval:    opts.SyncInterval,
 		CheckpointEvery: opts.CheckpointEvery,
+		Engine:          engine,
 		Meta: map[string]string{
 			metaKind:   kind,
 			metaShards: strconv.Itoa(opts.Shards),
+			metaEngine: engine,
 		},
 		Metrics: opts.Metrics,
 	}
@@ -130,6 +160,10 @@ func durablePlan(opts DurableOptions) (store.Config, store.BuildFunc, error) {
 			if opts.Shards != 0 && opts.Shards != diskShards {
 				return store.BuildResult{}, fmt.Errorf(
 					"lix: store holds %d shards, options ask for %d", diskShards, opts.Shards)
+			}
+			if diskEngine := meta[metaEngine]; diskEngine != "" && opts.Engine != "" && opts.Engine != diskEngine {
+				return store.BuildResult{}, fmt.Errorf(
+					"lix: store uses the %s engine, options ask for %s", diskEngine, opts.Engine)
 			}
 			useKind, useShards = diskKind, diskShards
 		}

@@ -20,6 +20,8 @@ func TestDurableFacadeLifecycle(t *testing.T) {
 		{"btree", DurableOptions{Fsync: FsyncNever, CheckpointEvery: -1}},
 		{"alex", DurableOptions{Kind: "alex", Fsync: FsyncNever, CheckpointEvery: -1}},
 		{"sharded", DurableOptions{Shards: 4, Fsync: FsyncNever, CheckpointEvery: -1}},
+		{"lsm", DurableOptions{Engine: EngineLSM, Fsync: FsyncNever, CheckpointEvery: -1}},
+		{"lsm-sharded", DurableOptions{Engine: EngineLSM, Shards: 4, Fsync: FsyncNever, CheckpointEvery: -1}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			dir := t.TempDir()
@@ -58,7 +60,44 @@ func TestDurableFacadeLifecycle(t *testing.T) {
 			if tc.opts.Shards > 0 && d2.Segments() != tc.opts.Shards {
 				t.Fatalf("segments %d, want %d", d2.Segments(), tc.opts.Shards)
 			}
+			if want := tc.opts.Engine; want != "" && d2.Engine() != want {
+				t.Fatalf("reopened engine %q, want %q", d2.Engine(), want)
+			}
 		})
+	}
+}
+
+func TestDurableFacadeEnginePersists(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDurable(dir, durableSeed(300), DurableOptions{Engine: EngineLSM, Fsync: FsyncNever, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Engine() != EngineLSM {
+		t.Fatalf("engine = %q, want lsm", d.Engine())
+	}
+	d.Put(1, 1)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// A bare reopen resolves to the on-disk engine.
+	d2, err := Open(dir, DurableOptions{Fsync: FsyncNever, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Engine() != EngineLSM {
+		t.Fatalf("bare reopen engine = %q, want lsm", d2.Engine())
+	}
+	d2.Close()
+
+	// Asking for the other engine on reopen is a configuration error.
+	if _, err := Open(dir, DurableOptions{Engine: EngineSnapshot}); err == nil {
+		t.Fatal("conflicting engine accepted on reopen")
+	}
+	if _, err := Open(t.TempDir(), DurableOptions{Engine: "no-such-engine"}); err == nil {
+		t.Fatal("unknown engine accepted")
 	}
 }
 

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	lix "github.com/lix-go/lix"
+	"github.com/lix-go/lix/internal/core"
+)
+
+// LSMConfig sizes the storage-engine benchmark (lixbench -lsm): a
+// write-heavy workload with periodic explicit checkpoints under both
+// checkpoint engines, then cold-start recovery and an absent-key probe
+// phase over the LSM run set.
+type LSMConfig struct {
+	// N is the preloaded dataset size (the seed checkpoint both engines
+	// pay once, outside the measured window).
+	N int `json:"n"`
+	// Writes is the measured insert count, spread evenly across the
+	// checkpoint cycles.
+	Writes int `json:"writes"`
+	// Checkpoints is how many explicit checkpoints the write phase takes.
+	// Each snapshot-engine checkpoint rewrites the full record set; each
+	// LSM checkpoint flushes only the accumulated delta.
+	Checkpoints int `json:"checkpoints"`
+	// Reads is the number of point lookups per read phase.
+	Reads int `json:"reads"`
+	// Seed drives key generation.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultLSMConfig is the scale used for the committed baseline. The
+// delta-to-dataset ratio matters: each LSM checkpoint pays O(delta) —
+// dominated by training the new run's learned filter — while the
+// snapshot engine pays O(N) to rewrite the record set, so the structural
+// gap only shows when checkpoints are frequent relative to dataset size
+// (the regime checkpointing exists for).
+func DefaultLSMConfig() LSMConfig {
+	return LSMConfig{N: 1_000_000, Writes: 18_000, Checkpoints: 6, Reads: 100_000, Seed: 7}
+}
+
+// LSMResultName returns the BenchResult name for one (phase, engine)
+// cell, e.g. "lsm/checkpoint/lsm".
+func LSMResultName(phase, engine string) string {
+	return fmt.Sprintf("lsm/%s/%s", phase, engine)
+}
+
+// lsmRow is one engine's measured cells.
+type lsmRow struct {
+	engine     string
+	writeRate  float64 // sustained inserts/s including checkpoint stalls
+	ckptPerSec float64 // checkpoints/s over checkpoint wall time alone
+	ckptAvgMs  float64
+	recoverMs  float64
+	recRecSec  float64
+	runs       int     // LSM only
+	skipPct    float64 // LSM only: absent-key filter skip rate
+}
+
+// RunLSM measures the checkpoint cost of the two storage engines under
+// the same write-heavy workload: cfg.Writes inserts into a preloaded
+// store of cfg.N records, checkpointing every Writes/Checkpoints ops.
+// The LSM checkpoint result carries a blocking intra-run floor — LSM
+// checkpoints must run at least 2x the snapshot engine's rate — which
+// pins the structural promise of the engine: flushing the memtable delta
+// must beat rewriting the full record set, on every machine, or tiering
+// is buying nothing. The LSM run additionally drives absent-key lookups
+// through the run set and fails outright if the per-run learned filters
+// skip fewer than 90% of the probes that reach them.
+func RunLSM(cfg LSMConfig) ([]*Table, []BenchResult, error) {
+	if cfg.Checkpoints <= 0 {
+		cfg.Checkpoints = 1
+	}
+	recs := evenKV(cfg.N, cfg.Seed)
+
+	t := &Table{
+		ID: "LSM",
+		Title: fmt.Sprintf("Checkpoint engines under write load, n=%d, %d writes, %d checkpoints",
+			cfg.N, cfg.Writes, cfg.Checkpoints),
+		Columns: []string{"engine", "write Kops/s", "ckpt/s", "avg ckpt ms", "recover ms", "runs", "skip%"},
+	}
+	var results []BenchResult
+	for _, engine := range []string{lix.EngineSnapshot, lix.EngineLSM} {
+		row, err := runLSMEngine(cfg, engine, recs)
+		if err != nil {
+			return nil, nil, err
+		}
+		t.AddRow(row.engine, row.writeRate/1e3, row.ckptPerSec, row.ckptAvgMs, row.recoverMs, row.runs, row.skipPct)
+		ckpt := BenchResult{Name: LSMResultName("checkpoint", engine), OpsPerSec: row.ckptPerSec}
+		if engine == lix.EngineLSM {
+			ckpt.MinRatioOf = LSMResultName("checkpoint", lix.EngineSnapshot)
+			ckpt.MinRatio = 2
+		}
+		results = append(results,
+			BenchResult{Name: LSMResultName("write", engine), OpsPerSec: row.writeRate},
+			ckpt,
+			BenchResult{Name: LSMResultName("recover", engine), OpsPerSec: row.recRecSec},
+		)
+	}
+	return []*Table{t}, results, nil
+}
+
+// evenKV builds n sorted distinct even keys: everything the benchmark
+// ever inserts is even, so any odd key is absent by construction and the
+// filter probe phase needs no bookkeeping.
+func evenKV(n int, seed int64) []core.KV {
+	r := newRand(seed)
+	seen := make(map[core.Key]struct{}, n)
+	keys := make([]core.Key, 0, n)
+	for len(keys) < n {
+		k := core.Key(r.Uint64()) >> 2 &^ 1
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	recs := make([]core.KV, n)
+	for i, k := range keys {
+		recs[i] = core.KV{Key: k, Value: core.Value(i)}
+	}
+	return recs
+}
+
+func runLSMEngine(cfg LSMConfig, engine string, recs []core.KV) (lsmRow, error) {
+	dir, err := os.MkdirTemp("", "lixbench-lsm-*")
+	if err != nil {
+		return lsmRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	opts := lix.DurableOptions{
+		Engine:          engine,
+		Fsync:           lix.FsyncNever, // measure checkpoint I/O, not WAL sync policy
+		CheckpointEvery: -1,             // checkpoints are explicit, so both engines pay at the same points
+	}
+	d, err := lix.NewDurable(dir, recs, opts)
+	if err != nil {
+		return lsmRow{}, err
+	}
+	row := lsmRow{engine: engine}
+
+	// Write phase: fresh even keys with a checkpoint per cycle.
+	perCkpt := cfg.Writes / cfg.Checkpoints
+	if perCkpt == 0 {
+		perCkpt = 1
+	}
+	r := newRand(cfg.Seed + 57)
+	var ckptTime time.Duration
+	start := time.Now()
+	for c := 0; c < cfg.Checkpoints; c++ {
+		for i := 0; i < perCkpt; i++ {
+			if err := d.Put(core.Key(r.Uint64())>>2&^1, core.Value(i)); err != nil {
+				d.Close()
+				return lsmRow{}, err
+			}
+		}
+		cs := time.Now()
+		if err := d.Checkpoint(); err != nil {
+			d.Close()
+			return lsmRow{}, err
+		}
+		ckptTime += time.Since(cs)
+	}
+	elapsed := time.Since(start)
+	row.writeRate = float64(perCkpt*cfg.Checkpoints) / elapsed.Seconds()
+	row.ckptPerSec = float64(cfg.Checkpoints) / ckptTime.Seconds()
+	row.ckptAvgMs = ckptTime.Seconds() * 1e3 / float64(cfg.Checkpoints)
+
+	if engine == lix.EngineLSM {
+		if err := probeLSMFilters(cfg, d, &row); err != nil {
+			d.Close()
+			return lsmRow{}, err
+		}
+	}
+
+	// Cold-start recovery: a WAL tail on top of the last checkpoint, then
+	// kill and reopen.
+	for i := 0; i < perCkpt; i++ {
+		if err := d.Put(core.Key(r.Uint64())>>2&^1, core.Value(i)); err != nil {
+			d.Close()
+			return lsmRow{}, err
+		}
+	}
+	if err := d.Crash(); err != nil {
+		return lsmRow{}, err
+	}
+	re, err := lix.Open(dir, opts)
+	if err != nil {
+		return lsmRow{}, err
+	}
+	defer re.Close()
+	info := re.RecoveryInfo()
+	row.recoverMs = float64(info.Elapsed.Microseconds()) / 1e3
+	if s := info.Elapsed.Seconds(); s > 0 {
+		row.recRecSec = float64(info.SnapshotRecs+info.WALRecs) / s
+	}
+	return row, nil
+}
+
+// probeLSMFilters drives absent (odd) keys through the run set and
+// fails unless the learned filters skip at least 90% of the run probes
+// that reach them — the engine's structural read-path promise.
+func probeLSMFilters(cfg LSMConfig, d *lix.Durable, row *lsmRow) error {
+	tiers := d.Tiers()
+	before := d.LSMStats().Counters
+	row.runs = d.LSMStats().Runs
+	r := newRand(cfg.Seed + 131)
+	probes := cfg.Reads
+	if probes > 50_000 {
+		probes = 50_000 // plenty for a stable rate; keeps the phase short
+	}
+	for i := 0; i < probes; i++ {
+		k := core.Key(r.Uint64())>>2 | 1
+		if _, ok, err := tiers.Get(k); err != nil {
+			return err
+		} else if ok {
+			return fmt.Errorf("bench: absent key %d found in the run set", k)
+		}
+	}
+	after := d.LSMStats().Counters
+	consulted := (after.Probes - after.RangeSkips) - (before.Probes - before.RangeSkips)
+	if consulted == 0 {
+		return fmt.Errorf("bench: no absent-key probe consulted a filter — run set not exercised")
+	}
+	skips := after.FilterSkips - before.FilterSkips
+	row.skipPct = 100 * float64(skips) / float64(consulted)
+	if row.skipPct < 90 {
+		return fmt.Errorf("bench: learned filters skipped %.1f%% of absent-key run probes, want >= 90%%", row.skipPct)
+	}
+	return nil
+}

@@ -33,15 +33,16 @@ func (d durableIndex) Close() error {
 // (the suite checks logical equivalence, not power-loss durability, and
 // replays thousands of ops per workload) and a checkpoint interval small
 // enough that replays cross generation rotations.
-func durableOpts(shards int) lix.DurableOptions {
+func durableOpts(shards int, engine string) lix.DurableOptions {
 	return lix.DurableOptions{
 		Shards:          shards,
 		Fsync:           lix.FsyncNever,
 		CheckpointEvery: 2000,
+		Engine:          engine,
 	}
 }
 
-func durable1D(name string, shards int) {
+func durable1D(name string, shards int, engine string) {
 	Register(Factory{
 		Name: name,
 		Caps: Caps{Mutable: true, AllowsEmpty: true},
@@ -50,7 +51,7 @@ func durable1D(name string, shards int) {
 			if err != nil {
 				return nil, err
 			}
-			d, err := lix.NewDurable(dir, recs, durableOpts(shards))
+			d, err := lix.NewDurable(dir, recs, durableOpts(shards, engine))
 			if err != nil {
 				os.RemoveAll(dir)
 				return nil, err
@@ -61,8 +62,10 @@ func durable1D(name string, shards int) {
 }
 
 func init() {
-	durable1D("durable-btree", 0)
-	durable1D("durable-sharded", 4)
+	durable1D("durable-btree", 0, "")
+	durable1D("durable-sharded", 4, "")
+	durable1D("durable-lsm", 0, lix.EngineLSM)
+	durable1D("durable-lsm-sharded", 4, lix.EngineLSM)
 }
 
 // DurableFactory builds and reopens a durable store for CheckReopen.
@@ -77,15 +80,15 @@ type DurableFactory struct {
 // DurableFactories lists the reopen-checked configurations, mirroring
 // the registered differential factories.
 func DurableFactories() []DurableFactory {
-	mk := func(name string, shards int) DurableFactory {
+	mk := func(name string, shards int, engine string) DurableFactory {
 		return DurableFactory{
 			Name: name,
 			Create: func(dir string, init []core.KV) (*lix.Durable, error) {
-				return lix.NewDurable(dir, init, durableOpts(shards))
+				return lix.NewDurable(dir, init, durableOpts(shards, engine))
 			},
 			Reopen: func(dir string) (*lix.Durable, error) {
-				// A bare reconfiguration-free open: kind and shard count must
-				// come back from the snapshot meta.
+				// A bare reconfiguration-free open: kind, shard count and
+				// storage engine must come back from the persisted state.
 				return lix.Open(dir, lix.DurableOptions{
 					Fsync:           lix.FsyncNever,
 					CheckpointEvery: 2000,
@@ -93,7 +96,12 @@ func DurableFactories() []DurableFactory {
 			},
 		}
 	}
-	return []DurableFactory{mk("durable-btree", 0), mk("durable-sharded", 4)}
+	return []DurableFactory{
+		mk("durable-btree", 0, ""),
+		mk("durable-sharded", 4, ""),
+		mk("durable-lsm", 0, lix.EngineLSM),
+		mk("durable-lsm-sharded", 4, lix.EngineLSM),
+	}
 }
 
 // CheckReopen is the reopen-after-quiesce equivalence check: it replays

@@ -41,9 +41,12 @@ func TestDurableStress(t *testing.T) {
 	cases := []struct {
 		name   string
 		shards int
+		engine string
 	}{
-		{"durable-sharded", 4},
-		{"durable-btree", 0},
+		{"durable-sharded", 4, ""},
+		{"durable-btree", 0, ""},
+		{"durable-lsm", 0, lix.EngineLSM},
+		{"durable-lsm-sharded", 4, lix.EngineLSM},
 	}
 	for i, c := range cases {
 		c, i := c, i
@@ -56,7 +59,7 @@ func TestDurableStress(t *testing.T) {
 				if err != nil {
 					return nil, err
 				}
-				d, err := lix.NewDurable(dir, init, durableOpts(c.shards))
+				d, err := lix.NewDurable(dir, init, durableOpts(c.shards, c.engine))
 				if err != nil {
 					return nil, err
 				}
@@ -72,7 +75,7 @@ func TestDurableStress(t *testing.T) {
 // TestDurableFactoriesRegistered pins the persistence path into the
 // differential registry alongside the in-memory factories.
 func TestDurableFactoriesRegistered(t *testing.T) {
-	for _, name := range []string{"durable-btree", "durable-sharded"} {
+	for _, name := range []string{"durable-btree", "durable-sharded", "durable-lsm", "durable-lsm-sharded"} {
 		f, err := Lookup(name)
 		if err != nil {
 			t.Fatalf("factory %q not registered: %v", name, err)

@@ -71,6 +71,24 @@ type Metrics struct {
 	PageHits   Counter
 	PageMisses Counter
 
+	// Learned LSM engine instrumentation, maintained by the durable
+	// store's LSM engine (internal/store + internal/sst). The counters
+	// accumulate per-run learned-filter outcomes (a probe resolves as a
+	// skip, a false positive, or a genuine hit inside the run); the gauges
+	// describe the current tier state and are refreshed after every
+	// memtable flush and compaction. FilterBytes is the summed memory of
+	// all per-run learned filters (model + backup); FilterFPRPpm is the
+	// measured false-positive rate of the newest run's filter in parts per
+	// million (a gauge because FPR is a level, not a flow).
+	FilterProbes Counter
+	FilterSkips  Counter
+	FilterFPs    Counter
+	LSMRuns      Gauge
+	LSMRunBytes  Gauge
+	LSMTombs     Gauge
+	FilterBytes  Gauge
+	FilterFPRPpm Gauge
+
 	// Serving front-end instrumentation, maintained by internal/serve:
 	// Requests counts frames received, Errors counts error replies sent
 	// (protocol violations and refused connections included), Groups
@@ -236,6 +254,7 @@ type Snapshot struct {
 var counterNames = []string{
 	"lookups", "hits", "inserts", "deletes", "ranges", "batches",
 	"requests", "errors", "groups", "page_hits", "page_misses",
+	"lsm_filter_probes", "lsm_filter_skips", "lsm_filter_false_positives",
 }
 
 // histNames fixes the rendering order of the histogram set.
@@ -247,7 +266,11 @@ var histNames = []string{
 }
 
 // gaugeNames fixes the rendering order of the gauge set.
-var gaugeNames = []string{"conns"}
+var gaugeNames = []string{
+	"conns",
+	"lsm_runs", "lsm_run_bytes", "lsm_tombstones",
+	"lbf_filter_bytes", "lbf_filter_fpr_ppm",
+}
 
 func (m *Metrics) counter(name string) *Counter {
 	switch name {
@@ -273,6 +296,12 @@ func (m *Metrics) counter(name string) *Counter {
 		return &m.PageHits
 	case "page_misses":
 		return &m.PageMisses
+	case "lsm_filter_probes":
+		return &m.FilterProbes
+	case "lsm_filter_skips":
+		return &m.FilterSkips
+	case "lsm_filter_false_positives":
+		return &m.FilterFPs
 	}
 	return nil
 }
@@ -281,6 +310,16 @@ func (m *Metrics) gauge(name string) *Gauge {
 	switch name {
 	case "conns":
 		return &m.Conns
+	case "lsm_runs":
+		return &m.LSMRuns
+	case "lsm_run_bytes":
+		return &m.LSMRunBytes
+	case "lsm_tombstones":
+		return &m.LSMTombs
+	case "lbf_filter_bytes":
+		return &m.FilterBytes
+	case "lbf_filter_fpr_ppm":
+		return &m.FilterFPRPpm
 	}
 	return nil
 }

@@ -266,6 +266,14 @@ func TestWritePrometheusGolden(t *testing.T) {
 	m.Hits.Add(1)
 	m.GetNS.Observe(1)
 	m.GetNS.Observe(3)
+	m.FilterProbes.Add(100)
+	m.FilterSkips.Add(93)
+	m.FilterFPs.Add(2)
+	m.LSMRuns.Set(3)
+	m.LSMRunBytes.Set(40960)
+	m.LSMTombs.Set(5)
+	m.FilterBytes.Set(2048)
+	m.FilterFPRPpm.Set(7000)
 	m.Events.Publish(Event{Type: EvRetrain})
 
 	var b strings.Builder
@@ -301,8 +309,24 @@ lix_groups_total{index="t"} 0
 lix_page_hits_total{index="t"} 0
 # TYPE lix_page_misses_total counter
 lix_page_misses_total{index="t"} 0
+# TYPE lix_lsm_filter_probes_total counter
+lix_lsm_filter_probes_total{index="t"} 100
+# TYPE lix_lsm_filter_skips_total counter
+lix_lsm_filter_skips_total{index="t"} 93
+# TYPE lix_lsm_filter_false_positives_total counter
+lix_lsm_filter_false_positives_total{index="t"} 2
 # TYPE lix_conns gauge
 lix_conns{index="t"} 0
+# TYPE lix_lsm_runs gauge
+lix_lsm_runs{index="t"} 3
+# TYPE lix_lsm_run_bytes gauge
+lix_lsm_run_bytes{index="t"} 40960
+# TYPE lix_lsm_tombstones gauge
+lix_lsm_tombstones{index="t"} 5
+# TYPE lix_lbf_filter_bytes gauge
+lix_lbf_filter_bytes{index="t"} 2048
+# TYPE lix_lbf_filter_fpr_ppm gauge
+lix_lbf_filter_fpr_ppm{index="t"} 7000
 # TYPE lix_get_ns histogram
 lix_get_ns_bucket{index="t",le="0"} 0
 lix_get_ns_bucket{index="t",le="1"} 1

@@ -30,10 +30,12 @@ type Options struct {
 // a buffer pool, so the working set is bounded by Options.PoolFrames
 // regardless of data size.
 //
-// Deletions do not rebalance: leaves may go underfull (or empty, staying in
-// the leaf chain) and space is reclaimed only when a page is freed wholesale
-// or the file is rebuilt by a bulk load. This mirrors the common practice in
-// disk B+-trees (and keeps the crash surface small: no merge writes).
+// Deletions do not rebalance: leaves may go underfull, and records move
+// between pages only on splits. A leaf a deletion empties, though, is
+// stitched out of the chain and returned to the file's free list (as are
+// inner nodes left childless by the unlink), so the next allocation reuses
+// the space. This mirrors the common practice in disk B+-trees (and keeps
+// the crash surface small: no merge writes).
 //
 // Error handling is fail-stop: the error-returning methods (Lookup,
 // InsertErr, DeleteErr, RangeErr) surface I/O and corruption errors; the
@@ -464,17 +466,42 @@ func zeroRange(p Buf, lo, hi int) {
 	}
 }
 
+// routeStep records one inner node visited on a root-to-leaf descent and
+// the child slot taken there (slot == Count() means the rightmost link).
+type routeStep struct {
+	id   uint64
+	slot int
+}
+
 // DeleteErr removes k, reporting whether it was present and any I/O or
-// corruption error. No rebalancing happens; see the type comment.
+// corruption error. No rebalancing happens (see the type comment), but a
+// leaf the deletion empties is stitched out of the leaf chain, dropped
+// from its parent, and returned to the file's free list; inner nodes left
+// childless on the way up (and root nodes left with a single child) are
+// reclaimed too.
 func (t *BTree) DeleteErr(k core.Key) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.root == 0 {
 		return false, nil
 	}
-	id, err := t.descend(k)
-	if err != nil {
-		return false, err
+	// Descend recording the route so an emptied leaf can be stitched out.
+	path := make([]routeStep, 0, t.height)
+	id := t.root
+	for lvl := t.height; lvl > 0; lvl-- {
+		fr, err := t.pool.Get(id)
+		if err != nil {
+			return false, err
+		}
+		p := fr.Page()
+		ci := innerRouteIndex(p, k)
+		path = append(path, routeStep{id: id, slot: ci})
+		if ci == p.Count() {
+			id = p.Link()
+		} else {
+			id = p.InnerChild(ci)
+		}
+		t.pool.Unpin(fr, false)
 	}
 	fr, err := t.pool.Get(id)
 	if err != nil {
@@ -488,8 +515,126 @@ func (t *BTree) DeleteErr(k core.Key) (bool, error) {
 	}
 	p.LeafDeleteAt(i)
 	t.count--
+	if p.Count() > 0 {
+		t.pool.Unpin(fr, true)
+		return true, nil
+	}
+	next := p.Link()
 	t.pool.Unpin(fr, true)
-	return true, nil
+	return true, t.reclaimLeaf(path, id, next)
+}
+
+// reclaimLeaf removes the emptied, unpinned leaf id from the tree: the
+// chain predecessor's link skips ahead to next, the parent drops its
+// routing entry (an inner emptied of its last child is freed and the
+// removal propagates upward), and the pages return to the free list.
+func (t *BTree) reclaimLeaf(path []routeStep, id, next uint64) error {
+	if len(path) == 0 {
+		// The root was the leaf: the tree is now empty.
+		t.root, t.height = 0, 0
+		return t.pool.Free(id)
+	}
+	if err := t.relinkPredecessor(path, next); err != nil {
+		return err
+	}
+	victim := id
+	for d := len(path) - 1; d >= 0; d-- {
+		fr, err := t.pool.Get(path[d].id)
+		if err != nil {
+			return err
+		}
+		p := fr.Page()
+		n, ci := p.Count(), path[d].slot
+		if n == 0 {
+			// The victim was this node's only (link) child: free the node
+			// too and keep removing one level up.
+			t.pool.Unpin(fr, false)
+			if err := t.pool.Free(victim); err != nil {
+				return err
+			}
+			victim = path[d].id
+			continue
+		}
+		if ci == n {
+			// The rightmost link: its left neighbor takes over as the link.
+			p.SetLink(p.InnerChild(n - 1))
+			p.InnerDeleteAt(n - 1)
+		} else {
+			// Dropping (separator, child) ci widens the next child's range
+			// leftward; fine, the vacated range holds no records.
+			p.InnerDeleteAt(ci)
+		}
+		t.pool.Unpin(fr, true)
+		if err := t.pool.Free(victim); err != nil {
+			return err
+		}
+		return t.collapseRoot()
+	}
+	// Every ancestor up to the root lost its last child: empty tree.
+	t.root, t.height = 0, 0
+	return t.pool.Free(victim)
+}
+
+// relinkPredecessor points the freed leaf's chain predecessor at next.
+// The predecessor is the rightmost leaf of the nearest left-sibling
+// subtree along the descent path; the leftmost leaf has none.
+func (t *BTree) relinkPredecessor(path []routeStep, next uint64) error {
+	d := len(path) - 1
+	for ; d >= 0; d-- {
+		if path[d].slot > 0 {
+			break
+		}
+	}
+	if d < 0 {
+		return nil // leftmost leaf: nothing chains into it
+	}
+	fr, err := t.pool.Get(path[d].id)
+	if err != nil {
+		return err
+	}
+	id := fr.Page().InnerChild(path[d].slot - 1)
+	t.pool.Unpin(fr, false)
+	// Descend rightmost (always the link) down to that subtree's leaf.
+	for lvl := t.height - d - 1; lvl > 0; lvl-- {
+		fr, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		id = fr.Page().Link()
+		t.pool.Unpin(fr, false)
+	}
+	fr, err = t.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	fr.Page().SetLink(next)
+	t.pool.Unpin(fr, true)
+	return nil
+}
+
+// collapseRoot frees root nodes left with only their link child, keeping
+// the recorded height equal to the tree's real depth.
+func (t *BTree) collapseRoot() error {
+	for t.height > 0 {
+		fr, err := t.pool.Get(t.root)
+		if err != nil {
+			return err
+		}
+		p := fr.Page()
+		if p.Count() > 0 {
+			t.pool.Unpin(fr, false)
+			return nil
+		}
+		child := p.Link()
+		old := t.root
+		t.pool.Unpin(fr, false)
+		if err := t.pool.Free(old); err != nil {
+			return err
+		}
+		t.root = child
+		t.height--
+	}
+	return nil
 }
 
 // Delete removes k, panicking on I/O or corruption errors.

@@ -191,6 +191,11 @@ func (p Buf) SetInnerEntry(i int, k core.Key, child uint64) {
 	binary.LittleEndian.PutUint64(p[HeaderSize+16*i+8:], child)
 }
 
+// InnerDeleteAt removes (separator, child) pair i, shifting the tail left
+// and zeroing the vacated slot. Inner entries share the leaf record byte
+// layout, so the same moves apply.
+func (p Buf) InnerDeleteAt(i int) { p.LeafDeleteAt(i) }
+
 // InnerRoute returns the child page to descend into for key k: the child
 // of the first separator greater than k, or the rightmost child (the
 // header link) when no separator is greater.

@@ -40,8 +40,10 @@ const pgmMinModelFences = 64
 //
 // Inserts go to the leaf owning the key; a full leaf splits, growing the
 // fence array. The model is retrained (EvRetrain) once the fence count has
-// grown enough that the drift-widened search window erodes the model's
-// advantage. Deletions leave leaves underfull or empty, as in the B+-tree.
+// drifted enough that the widened search window erodes the model's
+// advantage. Deletions leave leaves underfull, but a leaf emptied by a
+// deletion is unlinked, dropped from the fence array, and returned to the
+// file's free list for reuse.
 type PGM struct {
 	mu   sync.RWMutex
 	file *File
@@ -168,11 +170,14 @@ func (g *PGM) retrain() {
 	g.hook.Emit(obs.EvRetrain, len(g.segs), "fences")
 }
 
-// maybeRetrain retrains once the fence array has grown past the point
-// where drift widens the verified search window beyond ~2ε.
+// maybeRetrain retrains once the fence array has grown or shrunk past
+// the point where drift widens the verified search window beyond ~2ε.
 func (g *PGM) maybeRetrain() {
-	grown := len(g.fences) - g.fencesAtTrain
-	if grown > pgmEps || (len(g.fences) >= pgmMinModelFences && g.segs == nil) {
+	drift := len(g.fences) - g.fencesAtTrain
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift > pgmEps || (len(g.fences) >= pgmMinModelFences && g.segs == nil) {
 		g.retrain()
 	}
 }
@@ -193,7 +198,11 @@ func (g *PGM) locate(k core.Key) int {
 		// off (float64 key collapse or unexpected drift).
 		s := &g.segs[segment.Locate(g.segs, float64(k))]
 		pos := int(s.Predict(float64(k)))
-		w := pgmEps + (n - g.fencesAtTrain) + 1
+		drift := n - g.fencesAtTrain
+		if drift < 0 {
+			drift = -drift
+		}
+		w := pgmEps + drift + 1
 		i = core.SearchRange(g.fences, k, pos-w, pos+w)
 		if (i > 0 && g.fences[i-1] >= k) || (i < n && g.fences[i] < k) {
 			i = core.LowerBound(g.fences, k)
@@ -399,9 +408,10 @@ func (g *PGM) Insert(k core.Key, v core.Value) {
 	}
 }
 
-// DeleteErr removes k, reporting whether it was present. Emptied leaves
-// stay in the chain with their fence unchanged; routing remains correct
-// because fences are lower bounds, not exact first keys.
+// DeleteErr removes k, reporting whether it was present. A leaf the
+// deletion empties is stitched out of the chain, dropped from the fence
+// array, and returned to the file's free list; the model retrains when
+// enough fences have disappeared that its drift window erodes.
 func (g *PGM) DeleteErr(k core.Key) (bool, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -421,8 +431,40 @@ func (g *PGM) DeleteErr(k core.Key) (bool, error) {
 	}
 	p.LeafDeleteAt(i)
 	g.count--
+	if p.Count() > 0 {
+		g.pool.Unpin(fr, true)
+		return true, nil
+	}
+	next := p.Link()
 	g.pool.Unpin(fr, true)
-	return true, nil
+	return true, g.reclaimLeaf(d, next)
+}
+
+// reclaimLeaf removes the emptied, unpinned leaf at slot d from the chain
+// and the fence array and returns its page to the free list.
+func (g *PGM) reclaimLeaf(d int, next uint64) error {
+	id := g.leaves[d]
+	if d == 0 {
+		g.head = next
+	} else {
+		fr, err := g.pool.Get(g.leaves[d-1])
+		if err != nil {
+			return err
+		}
+		fr.Page().SetLink(next)
+		g.pool.Unpin(fr, true)
+	}
+	g.fences = append(g.fences[:d], g.fences[d+1:]...)
+	g.leaves = append(g.leaves[:d], g.leaves[d+1:]...)
+	if len(g.fences) > 0 {
+		// Slot 0's fence stays pinned to 0 (conceptually -inf).
+		g.fences[0] = 0
+	}
+	if err := g.pool.Free(id); err != nil {
+		return err
+	}
+	g.maybeRetrain()
+	return nil
 }
 
 // Delete removes k, panicking on I/O or corruption errors.

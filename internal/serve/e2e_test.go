@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"reflect"
 	"sort"
 	"sync"
 	"testing"
@@ -698,4 +699,114 @@ func TestPipelinedWritesFsyncAmortization(t *testing.T) {
 		t.Errorf("64 unpipelined SETs cost %d fsyncs, want >= 64", unpipelined)
 	}
 	t.Logf("fsyncs: mset(256)=1, pipelined(64)=%d, unpipelined(64)=%d", pipelined, unpipelined)
+}
+
+// ---------------------------------------------------------------------------
+// Chunked SCAN replies at the max-frame boundary
+// ---------------------------------------------------------------------------
+
+// TestE2EChunkedScan pins the server half of the chunked SCAN contract at
+// the exact frame boundary. With MaxFrame 165 a reply frame holds at most
+// 10 records (payload 5 + 16·10 = 165), so a 25-record scan must stream
+// as RKVsPart(10) RKVsPart(10) RKVs(5) — each frame exactly at or under
+// the guard — while a 10-record scan stays a single unchunked RKVs and an
+// 11-record one splits as RKVsPart(10) RKVs(1). The raw frames are read
+// with a Reader whose guard IS MaxFrame, so any oversized reply fails the
+// test by construction; the Client path on the same server then checks
+// transparent reassembly, including mid-pipeline.
+func TestE2EChunkedScan(t *testing.T) {
+	const maxFrame = 165 // chunk capacity: (165-5)/16 = 10 records
+	stack, err := lix.NewStack(nil, lix.StackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, stack, serve.Config{MaxFrame: maxFrame, CloseStore: true})
+	defer srv.Shutdown()
+
+	const n = 25
+	recs := make([]core.KV, n)
+	for i := range recs {
+		recs[i] = core.KV{Key: core.Key(i + 1), Value: core.Value(100 + i)}
+		stack.Insert(recs[i].Key, recs[i].Value)
+	}
+
+	// Raw frame level: count the chunks and verify sizes and order.
+	conn, err := net.DialTimeout("tcp", srv.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	w := wire.NewWriter(conn, maxFrame)
+	r := wire.NewReader(conn, maxFrame) // reply frames must fit the guard
+	scan := func(limit uint32) []wire.Msg {
+		t.Helper()
+		if err := w.Write(&wire.Msg{Op: wire.OpScan, Lo: 0, Hi: ^core.Key(0), Limit: limit}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var frames []wire.Msg
+		for {
+			m, err := r.Read()
+			if err != nil {
+				t.Fatalf("read reply frame: %v", err)
+			}
+			frames = append(frames, m)
+			if m.Op != wire.RKVsPart {
+				return frames
+			}
+		}
+	}
+
+	frames := scan(0) // full 25-record straddle
+	if len(frames) != 3 || frames[0].Op != wire.RKVsPart || frames[1].Op != wire.RKVsPart || frames[2].Op != wire.RKVs {
+		t.Fatalf("25-record scan framed as %d frames %v, want KVSPART KVSPART KVS", len(frames), frames)
+	}
+	var got []core.KV
+	for _, f := range frames {
+		if f.Op == wire.RKVsPart && len(f.Recs) != 10 {
+			t.Fatalf("non-final chunk carries %d records, want the full 10", len(f.Recs))
+		}
+		got = append(got, f.Recs...)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("chunked scan returned %v, want %v", got, recs)
+	}
+
+	if frames = scan(10); len(frames) != 1 || frames[0].Op != wire.RKVs || len(frames[0].Recs) != 10 {
+		t.Fatalf("exactly-fitting scan framed as %v, want one KVS of 10", frames)
+	}
+	if frames = scan(11); len(frames) != 2 || frames[0].Op != wire.RKVsPart || len(frames[1].Recs) != 1 {
+		t.Fatalf("one-over scan framed as %v, want KVSPART(10) KVS(1)", frames)
+	}
+
+	// Client level: reassembly is transparent, even mid-pipeline.
+	c, err := wire.DialTimeout(srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	all, err := c.Scan(0, ^core.Key(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all, recs) {
+		t.Fatalf("client Scan reassembled %d records, want %d", len(all), n)
+	}
+	reps, err := c.Pipeline([]wire.Msg{
+		{Op: wire.OpGet, Key: 1},
+		{Op: wire.OpScan, Lo: 0, Hi: ^core.Key(0), Limit: 0},
+		{Op: wire.OpGet, Key: 25},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 || reps[0].Op != wire.RValue || reps[2].Op != wire.RValue {
+		t.Fatalf("pipeline around chunked scan: %v", reps)
+	}
+	if reps[1].Op != wire.RKVs || !reflect.DeepEqual(reps[1].Recs, recs) {
+		t.Fatalf("mid-pipeline chunked scan reply: %v", reps[1])
+	}
 }

@@ -12,7 +12,9 @@
 // LookupBatch, consecutive writes one InsertBatch, consecutive deletes
 // one DeleteBatch — so a pipelined MGET of 256 keys is one shard fan-out
 // and one WAL frame group, not 256 independent calls. Replies are written
-// in request order and flushed once per group.
+// in request order and flushed once per group; a SCAN whose result set
+// exceeds the frame guard streams as wire.RKVsPart chunks closed by a
+// final RKVs, still one logical reply in order.
 //
 // Pipelined semantics are sequential: a request observes every earlier
 // request on the same connection. Run grouping preserves this because
@@ -65,8 +67,9 @@ type Config struct {
 	// MaxGroup caps the frames drained into one pipelined group
 	// (default 1024); longer pipelines are served as consecutive groups.
 	MaxGroup int
-	// MaxScan caps SCAN results per request (default 65536, always
-	// additionally clamped so the reply fits MaxFrame).
+	// MaxScan caps SCAN results per request (default 65536). A result set
+	// too large for one frame streams back as RKVsPart chunks closed by a
+	// final RKVs, so MaxScan is independent of MaxFrame.
 	MaxScan int
 	// IdleTimeout is the read deadline while waiting for the first frame
 	// of a group (default 5m; negative disables). A connection idle past
@@ -112,11 +115,6 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxScan <= 0 {
 		out.MaxScan = 65536
-	}
-	// Clamp scans so the RKVs reply (9-byte header + 16 bytes/record)
-	// always fits the frame guard.
-	if fit := (out.MaxFrame - 9) / 16; out.MaxScan > fit {
-		out.MaxScan = fit
 	}
 	if out.IdleTimeout == 0 {
 		out.IdleTimeout = 5 * time.Minute
@@ -555,6 +553,17 @@ func (s *Server) serveSolo(m *wire.Msg, w *wire.Writer, sp *trace.Span) {
 			if sp != nil {
 				sp.Add(trace.StageShard, time.Since(scanStart))
 			}
+		}
+		// A reply too large for one frame streams as RKVsPart chunks
+		// closed by the final RKVs: payload is 5 header bytes + 16 per
+		// record, so chunks of (MaxFrame-5)/16 records always fit.
+		chunk := (s.cfg.MaxFrame - 5) / 16
+		if chunk < 1 {
+			chunk = 1
+		}
+		for len(recs) > chunk {
+			w.Write(&wire.Msg{Op: wire.RKVsPart, Recs: recs[:chunk]})
+			recs = recs[chunk:]
 		}
 		w.Write(&wire.Msg{Op: wire.RKVs, Recs: recs})
 	default:

@@ -1,0 +1,53 @@
+package sst
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// FuzzSSTDecode mirrors FuzzPageDecode for the run-file format: DecodeFile
+// must never panic, must not allocate beyond what the input size justifies,
+// and every accepted input must re-encode byte-exactly (the canonical
+// encoding property the crash sweep and the reader rely on).
+func FuzzSSTDecode(f *testing.F) {
+	// Valid seeds at interesting shapes.
+	seed := func(live []core.KV, dead []core.Key, seq uint64) {
+		b, err := EncodeFile(&FileData{Live: live, Dead: dead, Seq: seq})
+		if err == nil {
+			f.Add(b)
+		}
+	}
+	seed([]core.KV{{Key: 1, Value: 2}}, nil, 7)
+	seed(nil, []core.Key{9}, 1)
+	seed([]core.KV{{Key: 1, Value: 2}, {Key: 5, Value: 0}}, []core.Key{3, 8}, 42)
+	var big []core.KV
+	for i := 0; i < RecsPerPage+3; i++ {
+		big = append(big, core.KV{Key: core.Key(2 * i), Value: core.Value(i)})
+	}
+	seed(big, []core.Key{uint64(2*RecsPerPage + 7)}, 3)
+	// Invalid seeds.
+	f.Add([]byte{})
+	f.Add(make([]byte, PageSize))
+	f.Add(make([]byte, 2*PageSize))
+	f.Add(make([]byte, 2*PageSize+1))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeFile(b)
+		if err != nil {
+			return
+		}
+		// Accepted: content must be within the capacity the file implies.
+		if max := len(b) / PageSize * RecsPerPage; len(d.Live)+len(d.Dead) > max {
+			t.Fatalf("decoded %d records from a %d-page file", len(d.Live)+len(d.Dead), len(b)/PageSize)
+		}
+		b2, err := EncodeFile(d)
+		if err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(b2, b) {
+			t.Fatalf("re-encode not byte-exact: %d vs %d bytes", len(b2), len(b))
+		}
+	})
+}

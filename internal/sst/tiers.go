@@ -1,0 +1,89 @@
+package sst
+
+import (
+	"sort"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// Tiers is a read view over a set of open runs ordered newest first — the
+// LSM resolution rule in one place: the newest run that speaks for a key
+// (live record or tombstone) wins, older runs are shadowed.
+type Tiers struct {
+	runs []*Reader // newest first
+}
+
+// NewTiers builds a view over runs, which must be ordered newest first.
+func NewTiers(runs []*Reader) *Tiers { return &Tiers{runs: runs} }
+
+// Get resolves k across the tiers, newest run first.
+func (t *Tiers) Get(k core.Key) (core.Value, bool, error) {
+	for _, r := range t.runs {
+		v, st, err := r.Get(k)
+		if err != nil {
+			return 0, false, err
+		}
+		switch st {
+		case Found:
+			return v, true, nil
+		case Deleted:
+			return 0, false, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// Runs returns the underlying readers, newest first.
+func (t *Tiers) Runs() []*Reader { return t.runs }
+
+// Counters sums the lookup counters across all runs.
+func (t *Tiers) Counters() Counters {
+	var c Counters
+	for _, r := range t.runs {
+		c.add(r.Counters())
+	}
+	return c
+}
+
+// Merge merges runs (ordered newest first) into one logical run: for each
+// key the newest entry wins. When dropDead is true tombstones are dropped
+// from the output — legal only when the merge includes the store's oldest
+// run, otherwise a dropped tombstone would resurrect a shadowed record
+// below. The merged Seq is the maximum across inputs.
+func Merge(runs []*Reader, dropDead bool) (*FileData, error) {
+	type entry struct {
+		val  core.Value
+		dead bool
+	}
+	m := make(map[core.Key]entry)
+	var seq uint64
+	// Apply oldest → newest so newer entries overwrite older ones.
+	for i := len(runs) - 1; i >= 0; i-- {
+		d, err := runs[i].Data()
+		if err != nil {
+			return nil, err
+		}
+		if d.Seq > seq {
+			seq = d.Seq
+		}
+		for _, kv := range d.Live {
+			m[kv.Key] = entry{val: kv.Value}
+		}
+		for _, k := range d.Dead {
+			m[k] = entry{dead: true}
+		}
+	}
+	out := &FileData{Seq: seq}
+	for k, e := range m {
+		if e.dead {
+			if !dropDead {
+				out.Dead = append(out.Dead, k)
+			}
+			continue
+		}
+		out.Live = append(out.Live, core.KV{Key: k, Value: e.val})
+	}
+	sort.Slice(out.Live, func(i, j int) bool { return out.Live[i].Key < out.Live[j].Key })
+	sort.Slice(out.Dead, func(i, j int) bool { return out.Dead[i] < out.Dead[j] })
+	return out, nil
+}

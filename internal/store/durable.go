@@ -12,6 +12,7 @@ import (
 
 	"github.com/lix-go/lix/internal/core"
 	"github.com/lix-go/lix/internal/obs"
+	"github.com/lix-go/lix/internal/sst"
 	"github.com/lix-go/lix/internal/trace"
 )
 
@@ -22,6 +23,15 @@ const DefaultCheckpointEvery = 1 << 16
 // DefaultSyncInterval is the background flush cadence for SyncInterval
 // when Config.SyncInterval is zero.
 const DefaultSyncInterval = 50 * time.Millisecond
+
+// Storage engines. EngineSnapshot rewrites the full record set into a
+// snapshot at every checkpoint; EngineLSM flushes only the WAL delta into
+// a new sorted run and lets a background size-tiered compactor bound the
+// run count, making checkpoint cost O(memtable) instead of O(dataset).
+const (
+	EngineSnapshot = "snapshot"
+	EngineLSM      = "lsm"
+)
 
 // Config tunes a Durable store.
 type Config struct {
@@ -34,6 +44,10 @@ type Config struct {
 	// records since the last one (0 selects DefaultCheckpointEvery,
 	// negative disables automatic checkpoints).
 	CheckpointEvery int
+	// Engine selects the checkpoint storage engine (EngineSnapshot or
+	// EngineLSM; "" means EngineSnapshot). On reopen the engine the
+	// directory's files belong to wins over this setting.
+	Engine string
 	// Meta is the rebuild-parameter map persisted in snapshots of a fresh
 	// store; on reopen the on-disk meta wins and is passed to the builder.
 	Meta map[string]string
@@ -56,6 +70,9 @@ type RecoveryInfo struct {
 	// CorruptSnapshots counts snapshot generations that failed validation
 	// and were skipped.
 	CorruptSnapshots int
+	// Runs is the number of LSM sorted runs loaded (0 for the snapshot
+	// engine).
+	Runs int
 	// Elapsed is the wall time recovery took.
 	Elapsed time.Duration
 }
@@ -99,7 +116,7 @@ type Durable struct {
 	seq       atomic.Uint64 // last assigned commit sequence number
 	sinceCkpt atomic.Int64  // records logged since the last checkpoint
 
-	ckptMu   sync.Mutex // serializes checkpoints
+	ckptMu   sync.Mutex // serializes checkpoints (and LSM flush/compaction)
 	ckptCh   chan struct{}
 	stop     chan struct{}
 	bg       sync.WaitGroup
@@ -108,6 +125,19 @@ type Durable struct {
 
 	hook     obs.Hook
 	recovery RecoveryInfo
+
+	// LSM engine state (engine == EngineLSM). The run list is mutated only
+	// under ckptMu; runMu additionally guards the swap so accessors get a
+	// consistent snapshot without blocking on a flush in progress.
+	engine      string
+	runMu       sync.RWMutex
+	runs        []*sst.Reader // newest first
+	runRefs     []RunRef      // manifest entries matching runs
+	manifestGen uint64
+	manifestSeq uint64 // WAL sequence watermark covered by the runs
+	nextRunID   uint64
+	lsmRetired  sst.Counters // counters of readers closed by compaction
+	lsmPub      sst.Counters // counter values last pushed to Metrics
 }
 
 // ---------------------------------------------------------------------------
@@ -124,12 +154,19 @@ func walPath(dir string, gen uint64, seg int) string {
 
 // dirState is the generation inventory of a store directory.
 type dirState struct {
-	snaps map[uint64]string
-	wals  map[uint64]map[int]string
+	snaps     map[uint64]string
+	wals      map[uint64]map[int]string
+	manifests map[uint64]string
+	runs      map[uint64]string
 }
 
 func scanDir(dir string) (dirState, error) {
-	st := dirState{snaps: map[uint64]string{}, wals: map[uint64]map[int]string{}}
+	st := dirState{
+		snaps:     map[uint64]string{},
+		wals:      map[uint64]map[int]string{},
+		manifests: map[uint64]string{},
+		runs:      map[uint64]string{},
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return st, err
@@ -150,12 +187,37 @@ func scanDir(dir string) (dirState, error) {
 				}
 				st.wals[gen][seg] = filepath.Join(dir, name)
 			}
+		case strings.HasPrefix(name, "lsm-") && strings.HasSuffix(name, ".lix"):
+			if _, err := fmt.Sscanf(name, "lsm-%016x.lix", &gen); err == nil {
+				st.manifests[gen] = filepath.Join(dir, name)
+			}
+		case strings.HasPrefix(name, "sst-") && strings.HasSuffix(name, ".lix"):
+			if _, err := fmt.Sscanf(name, "sst-%016x.lix", &gen); err == nil {
+				st.runs[gen] = filepath.Join(dir, name)
+			}
 		}
 	}
 	return st, nil
 }
 
-func (st dirState) empty() bool { return len(st.snaps) == 0 && len(st.wals) == 0 }
+func (st dirState) empty() bool {
+	return len(st.snaps) == 0 && len(st.wals) == 0 && len(st.manifests) == 0 && len(st.runs) == 0
+}
+
+// resolveEngine picks the storage engine: the engine the directory's
+// files belong to wins, a fresh directory follows the config.
+func resolveEngine(st dirState, want string) string {
+	if len(st.manifests) > 0 || len(st.runs) > 0 {
+		return EngineLSM
+	}
+	if len(st.snaps) > 0 {
+		return EngineSnapshot
+	}
+	if want == EngineLSM {
+		return EngineLSM
+	}
+	return EngineSnapshot
+}
 
 // ---------------------------------------------------------------------------
 // Open / Create
@@ -184,7 +246,13 @@ func Create(dir string, cfg Config, build BuildFunc, recs []core.KV) (*Durable, 
 	if err != nil {
 		return nil, err
 	}
-	if err := WriteSnapshot(snapPath(dir, 1), &SnapshotData{Meta: d.meta, Recs: recs, LastSeq: 0}); err != nil {
+	d.engine = resolveEngine(st, cfg.Engine)
+	if d.engine == EngineLSM {
+		if err := d.createLSM(recs); err != nil {
+			d.Close()
+			return nil, err
+		}
+	} else if err := WriteSnapshot(snapPath(dir, 1), &SnapshotData{Meta: d.meta, Recs: recs, LastSeq: 0}); err != nil {
 		d.Close()
 		return nil, err
 	}
@@ -208,17 +276,31 @@ func Open(dir string, cfg Config, build BuildFunc) (*Durable, error) {
 		return nil, err
 	}
 
+	engine := resolveEngine(st, cfg.Engine)
+
 	// Newest valid snapshot wins; corrupt ones are skipped, not fatal.
+	// Under the LSM engine the "snapshot" is the newest decodable manifest
+	// with its runs merged into a base record set; a manifest whose run
+	// files fail validation is a hard error (serving without them would
+	// silently drop committed writes).
 	var info RecoveryInfo
 	var snap *SnapshotData
-	for _, gen := range gensDesc(st.snaps) {
-		s, err := ReadSnapshot(st.snaps[gen])
+	var runReaders []*sst.Reader
+	if engine == EngineLSM {
+		snap, runReaders, err = openLSMBase(dir, st, &info)
 		if err != nil {
-			info.CorruptSnapshots++
-			continue
+			return nil, err
 		}
-		snap, info.SnapshotGen = s, gen
-		break
+	} else {
+		for _, gen := range gensDesc(st.snaps) {
+			s, err := ReadSnapshot(st.snaps[gen])
+			if err != nil {
+				info.CorruptSnapshots++
+				continue
+			}
+			snap, info.SnapshotGen = s, gen
+			break
+		}
 	}
 	base, meta := []core.KV(nil), map[string]string(nil)
 	if snap != nil {
@@ -283,7 +365,29 @@ func Open(dir string, cfg Config, build BuildFunc) (*Durable, error) {
 	}
 	d, err := assemble(dir, cfg, res, meta, currentGen)
 	if err != nil {
+		for _, r := range runReaders {
+			r.Close()
+		}
 		return nil, err
+	}
+	d.engine = engine
+	if engine == EngineLSM {
+		d.runs = runReaders
+		if snap != nil {
+			d.runRefs = snap.Runs
+			d.manifestGen, d.manifestSeq = info.SnapshotGen, snap.LastSeq
+		}
+		d.nextRunID = nextRunID(st)
+		info.Runs = len(runReaders)
+		if st.empty() {
+			// Fresh directory opened straight onto the LSM engine: make the
+			// choice durable so a reopen without cfg.Engine resolves to it.
+			if err := WriteSnapshot(manifestPath(dir, 1), &SnapshotData{Meta: d.meta, LastSeq: 0}); err != nil {
+				d.Close()
+				return nil, err
+			}
+			d.manifestGen = 1
+		}
 	}
 
 	// Resume the sequence counter past everything recovered.
@@ -923,6 +1027,9 @@ func (d *Durable) Checkpoint() error {
 	if err := d.Err(); err != nil {
 		return err
 	}
+	if d.engine == EngineLSM {
+		return d.flushLSM()
+	}
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 
@@ -1013,6 +1120,7 @@ func (d *Durable) Close() error {
 			first = err
 		}
 	}
+	d.closeRuns()
 	return first
 }
 
@@ -1034,5 +1142,17 @@ func (d *Durable) Crash() error {
 			first = err
 		}
 	}
+	d.closeRuns()
 	return first
+}
+
+// closeRuns closes the LSM run readers (no-op for the snapshot engine).
+// Run files are immutable, so closing loses nothing.
+func (d *Durable) closeRuns() {
+	d.runMu.Lock()
+	defer d.runMu.Unlock()
+	for _, r := range d.runs {
+		r.Close()
+	}
+	d.runs, d.runRefs = nil, nil
 }

@@ -22,6 +22,10 @@ import (
 //	meta (1):    u32 pair count | (u16 klen, key bytes, u16 vlen, value bytes)*
 //	records (2): u64 count | (u64 key, u64 value)* — sorted ascending by key
 //	state (3):   u64 last committed WAL sequence number
+//	runs (4):    u32 run count | (u64 id, u64 live, u64 dead, u64 seq,
+//	             u64 minKey, u64 maxKey)* — the LSM engine's run list,
+//	             newest first (absent from snapshot-engine files; readers
+//	             that predate it skip it as an unknown section)
 //	footer (240): u64 record count echo — marks the file complete
 //
 // All integers are little-endian. A reader accepts a snapshot only if
@@ -36,6 +40,7 @@ const (
 	secMeta    = 1
 	secRecords = 2
 	secState   = 3
+	secRuns    = 4
 	secFooter  = 240
 
 	// maxSnapSection bounds a declared section length during parsing
@@ -46,11 +51,30 @@ const (
 
 // SnapshotData is the logical content of one snapshot: the rebuild
 // parameters, the full record set and the WAL sequence high-water mark at
-// checkpoint time.
+// checkpoint time. The LSM engine reuses the codec for its manifests:
+// Recs stays empty and Runs lists the sorted-run files, newest first.
 type SnapshotData struct {
 	Meta    map[string]string
 	Recs    []core.KV
 	LastSeq uint64
+	Runs    []RunRef
+}
+
+// RunRef is one manifest entry: the identity and summary of a sorted-run
+// file the LSM engine owns. The list order in the manifest is the age
+// order (newest first), which is what makes shadowing deterministic.
+type RunRef struct {
+	// ID names the run file (sst-<id>.lix). IDs are allocated
+	// monotonically and never reused within a store directory.
+	ID uint64
+	// Live and Dead are the run's record and tombstone counts.
+	Live uint64
+	Dead uint64
+	// Seq is the run's WAL sequence watermark.
+	Seq uint64
+	// MinKey and MaxKey bound the run's keys (live ∪ dead).
+	MinKey core.Key
+	MaxKey core.Key
 }
 
 func appendSection(buf []byte, id byte, payload []byte) []byte {
@@ -92,6 +116,18 @@ func encodeSnapshot(s *SnapshotData) []byte {
 	buf = appendSection(buf, secMeta, meta)
 	buf = appendSection(buf, secRecords, recs)
 	buf = appendSection(buf, secState, state)
+	if len(s.Runs) > 0 {
+		runs := binary.LittleEndian.AppendUint32(nil, uint32(len(s.Runs)))
+		for _, r := range s.Runs {
+			runs = binary.LittleEndian.AppendUint64(runs, r.ID)
+			runs = binary.LittleEndian.AppendUint64(runs, r.Live)
+			runs = binary.LittleEndian.AppendUint64(runs, r.Dead)
+			runs = binary.LittleEndian.AppendUint64(runs, r.Seq)
+			runs = binary.LittleEndian.AppendUint64(runs, r.MinKey)
+			runs = binary.LittleEndian.AppendUint64(runs, r.MaxKey)
+		}
+		buf = appendSection(buf, secRuns, runs)
+	}
 	return appendSection(buf, secFooter, footer)
 }
 
@@ -133,6 +169,12 @@ func DecodeSnapshot(data []byte) (*SnapshotData, error) {
 				return nil, fmt.Errorf("store: snapshot: state section has %d bytes", len(payload))
 			}
 			s.LastSeq = binary.LittleEndian.Uint64(payload)
+		case secRuns:
+			runs, err := decodeRuns(payload)
+			if err != nil {
+				return nil, err
+			}
+			s.Runs = runs
 		case secFooter:
 			if len(payload) != 8 {
 				return nil, fmt.Errorf("store: snapshot: footer has %d bytes", len(payload))
@@ -205,6 +247,29 @@ func decodeRecs(p []byte) ([]core.KV, error) {
 		}
 	}
 	return recs, nil
+}
+
+func decodeRuns(p []byte) ([]RunRef, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("store: snapshot: runs section has %d bytes", len(p))
+	}
+	n := binary.LittleEndian.Uint32(p)
+	if uint64(len(p)-4) != uint64(n)*48 {
+		return nil, fmt.Errorf("store: snapshot: runs section declares %d runs in %d bytes", n, len(p)-4)
+	}
+	runs := make([]RunRef, n)
+	for i := range runs {
+		b := p[4+48*i:]
+		runs[i] = RunRef{
+			ID:     binary.LittleEndian.Uint64(b),
+			Live:   binary.LittleEndian.Uint64(b[8:]),
+			Dead:   binary.LittleEndian.Uint64(b[16:]),
+			Seq:    binary.LittleEndian.Uint64(b[24:]),
+			MinKey: binary.LittleEndian.Uint64(b[32:]),
+			MaxKey: binary.LittleEndian.Uint64(b[40:]),
+		}
+	}
+	return runs, nil
 }
 
 // WriteSnapshot atomically writes s to path: the bytes go to a temp file

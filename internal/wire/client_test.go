@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/lix-go/lix/internal/core"
+)
+
+// scriptedServer answers every frame read from conn with the scripted
+// reply sequence, then flushes. It lets the client tests exercise chunked
+// replies over net.Pipe without a real server.
+func scriptedServer(t *testing.T, conn net.Conn, replies ...Msg) {
+	t.Helper()
+	go func() {
+		r := NewReader(conn, 0)
+		w := NewWriter(conn, 0)
+		if _, err := r.Read(); err != nil {
+			return
+		}
+		for i := range replies {
+			if err := w.Write(&replies[i]); err != nil {
+				return
+			}
+		}
+		w.Flush()
+	}()
+}
+
+// TestClientChunkedScanReassembly pins the client half of the chunked
+// SCAN contract: RKVsPart frames followed by a final RKVs come back from
+// Scan as one ordered record slice, exactly as if the server had sent a
+// single frame.
+func TestClientChunkedScanReassembly(t *testing.T) {
+	recs := make([]core.KV, 25)
+	for i := range recs {
+		recs[i] = core.KV{Key: core.Key(i + 1), Value: core.Value(100 + i)}
+	}
+	cases := []struct {
+		name    string
+		replies []Msg
+		want    []core.KV
+	}{
+		{"single frame", []Msg{{Op: RKVs, Recs: recs[:10]}}, recs[:10]},
+		{"two chunks", []Msg{
+			{Op: RKVsPart, Recs: recs[:10]},
+			{Op: RKVs, Recs: recs[10:20]},
+		}, recs[:20]},
+		{"three chunks ragged tail", []Msg{
+			{Op: RKVsPart, Recs: recs[:10]},
+			{Op: RKVsPart, Recs: recs[10:20]},
+			{Op: RKVs, Recs: recs[20:]},
+		}, recs},
+		{"empty final frame", []Msg{
+			{Op: RKVsPart, Recs: recs[:10]},
+			{Op: RKVs, Recs: []core.KV{}},
+		}, recs[:10]},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cli, srv := net.Pipe()
+			defer cli.Close()
+			defer srv.Close()
+			scriptedServer(t, srv, c.replies...)
+			got, err := NewClient(cli, time.Second).Scan(0, ^core.Key(0), 0)
+			if err != nil {
+				t.Fatalf("Scan: %v", err)
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("Scan reassembled %d recs %v, want %d", len(got), got, len(c.want))
+			}
+		})
+	}
+}
+
+// TestClientChunkedScanDesync checks a chunk sequence interrupted by any
+// other reply opcode surfaces ErrMalformed: the stream is unrecoverably
+// out of sync and must not be misread as two replies.
+func TestClientChunkedScanDesync(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	scriptedServer(t, srv,
+		Msg{Op: RKVsPart, Recs: []core.KV{{Key: 1, Value: 10}}},
+		Msg{Op: ROK},
+	)
+	_, err := NewClient(cli, time.Second).Scan(0, ^core.Key(0), 0)
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("interrupted chunk sequence: err = %v, want ErrMalformed", err)
+	}
+}

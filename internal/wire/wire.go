@@ -19,7 +19,11 @@
 // Requests and replies share the frame format; replies have the high bit
 // of the opcode set. Pipelining is plain frame concatenation: a client
 // may write any number of request frames before reading, and the server
-// answers with exactly one reply frame per request, in request order.
+// answers every request in request order. Every request draws exactly one
+// logical reply; SCAN is the one op whose reply may span several frames —
+// zero or more RKVsPart chunks closed by a final RKVs — so a result set
+// larger than the frame guard streams instead of failing. Client
+// reassembles the chunks transparently.
 package wire
 
 import (
@@ -44,7 +48,7 @@ const (
 	OpDel  Op = 0x03 // key(8) -> RBool
 	OpMGet Op = 0x04 // n(4) keys(8n) -> RValues
 	OpMSet Op = 0x05 // n(4) (key,val)(16n) -> ROK
-	OpScan Op = 0x06 // lo(8) hi(8) limit(4) -> RKVs
+	OpScan Op = 0x06 // lo(8) hi(8) limit(4) -> RKVsPart* RKVs
 	OpPing Op = 0x07 // empty -> ROK
 )
 
@@ -57,6 +61,10 @@ const (
 	RValues Op = 0x85 // n(4) (ok(1) val(8))n: MGet answers, input order
 	RKVs    Op = 0x86 // n(4) (key,val)(16n): Scan results, ascending
 	RErr    Op = 0x87 // utf-8 message
+	// RKVsPart is a non-final chunk of a Scan reply (same body as RKVs):
+	// the records so far, continued by more RKVsPart frames or closed by
+	// the final RKVs. Chunks concatenate in ascending key order.
+	RKVsPart Op = 0x88
 )
 
 // String returns the protocol name of the opcode.
@@ -88,6 +96,8 @@ func (o Op) String() string {
 		return "VALUES"
 	case RKVs:
 		return "KVS"
+	case RKVsPart:
+		return "KVSPART"
 	case RErr:
 		return "ERR"
 	}
@@ -174,7 +184,7 @@ func AppendFrame(dst []byte, m *Msg, maxFrame int) ([]byte, error) {
 		for _, k := range m.Keys {
 			dst = binary.BigEndian.AppendUint64(dst, k)
 		}
-	case OpMSet, RKVs:
+	case OpMSet, RKVs, RKVsPart:
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Recs)))
 		for _, r := range m.Recs {
 			dst = binary.BigEndian.AppendUint64(dst, r.Key)
@@ -220,7 +230,7 @@ func payloadLen(m *Msg) int {
 		return 1 + 16
 	case OpMGet:
 		return 1 + 4 + 8*len(m.Keys)
-	case OpMSet, RKVs:
+	case OpMSet, RKVs, RKVsPart:
 		return 1 + 4 + 16*len(m.Recs)
 	case OpScan:
 		return 1 + 20
@@ -290,7 +300,7 @@ func Decode(payload []byte) (Msg, error) {
 		for i := range m.Keys {
 			m.Keys[i] = binary.BigEndian.Uint64(body[8*i:])
 		}
-	case OpMSet, RKVs:
+	case OpMSet, RKVs, RKVsPart:
 		n, err := counted(16)
 		if err != nil {
 			return Msg{}, err

@@ -39,6 +39,8 @@ func canonMsgs() []Msg {
 		{Op: RValues, Vals: []core.Value{5, 0, 6}, Oks: []bool{true, false, true}},
 		{Op: RKVs, Recs: []core.KV{}},
 		{Op: RKVs, Recs: []core.KV{{Key: 3, Value: 30}}},
+		{Op: RKVsPart, Recs: []core.KV{}},
+		{Op: RKVsPart, Recs: []core.KV{{Key: 4, Value: 40}, {Key: 5, Value: 50}}},
 		{Op: RErr, Err: "no such thing"},
 		{Op: RErr, Err: ""},
 	}

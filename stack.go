@@ -46,6 +46,10 @@ type StackConfig struct {
 	// CheckpointEvery triggers a checkpoint after this many logged records
 	// (Dir only; 0 selects the store default, negative disables).
 	CheckpointEvery int
+	// StorageEngine selects the durable checkpoint engine, EngineSnapshot
+	// or EngineLSM (Dir only; "" selects EngineSnapshot; on reopen the
+	// engine the directory already uses wins).
+	StorageEngine string
 	// Metrics, when set, wraps the stack in the observability layer: per-op
 	// and per-batch latencies, counters, and (with Dir) fsync/checkpoint
 	// events all record into this bundle.
@@ -102,6 +106,7 @@ func NewStack(recs []KV, cfg StackConfig) (*Stack, error) {
 			Fsync:           cfg.Fsync,
 			SyncInterval:    cfg.SyncInterval,
 			CheckpointEvery: cfg.CheckpointEvery,
+			Engine:          cfg.StorageEngine,
 			Metrics:         cfg.Metrics,
 		}
 		var (
